@@ -1,0 +1,82 @@
+// Fig. 7 (+ §5.3.1/5.3.2): strong-scaling study on full PeMS, 4-128
+// GPUs — distributed-index-batching vs baseline DDP, with the
+// computation / data-communication split.
+//
+// Paper anchors: dist-index reduces runtime up to 79.41x (workflow) /
+// 115.49x (training-only) vs single GPU at 128 GPUs, and beats DDP by
+// 2.16x (4 GPUs) to 11.78x (128 GPUs).  The 4..128-GPU timeline is
+// composed by the calibrated ClusterModel (DESIGN.md substitution);
+// the model's qualitative behaviour is validated against REAL
+// thread-level DDP runs at small world sizes below.
+#include "bench_util.h"
+
+using namespace pgti;
+
+int main() {
+  bench::header("Fig. 7 — PeMS scaling study: DDP vs distributed-index-batching",
+                "paper Fig. 7 (30 epochs, calibrated cluster model + functional "
+                "validation)");
+
+  dist::ClusterModel model(bench::pems_cluster_params());
+  const std::vector<int> worlds{4, 8, 16, 32, 64, 128};
+  const dist::ScalingPoint single = model.evaluate(1, dist::DistStrategy::kDistributedIndex);
+  std::printf("single-GPU anchor (calibrated to paper Table 4): %.1f min\n",
+              single.total_s() / 60.0);
+
+  std::printf("\n%-5s | %-36s | %-36s | speedup\n", "GPUs",
+              "DDP (compute + data comm) [min]", "dist-index (compute) [min]");
+  double r4 = 0.0, r128 = 0.0;
+  for (int w : worlds) {
+    const auto ddp = model.evaluate(w, dist::DistStrategy::kBaselineDdp);
+    const auto idx = model.evaluate(w, dist::DistStrategy::kDistributedIndex);
+    const double ratio = ddp.total_s() / idx.total_s();
+    if (w == 4) r4 = ratio;
+    if (w == 128) r128 = ratio;
+    std::printf("%-5d | total %7.1f = comp %6.1f + comm %6.1f | total %7.1f = comp %6.1f"
+                " + comm %6.2f | %5.2fx\n",
+                w, ddp.total_s() / 60.0, ddp.compute_s / 60.0,
+                (ddp.data_comm_s + ddp.allreduce_s) / 60.0, idx.total_s() / 60.0,
+                idx.compute_s / 60.0, (idx.data_comm_s + idx.allreduce_s) / 60.0, ratio);
+  }
+
+  const auto idx128 = model.evaluate(128, dist::DistStrategy::kDistributedIndex);
+  const double workflow_speedup = single.total_s() / idx128.total_s();
+  const double train_speedup = (single.total_s() - single.preprocess_s) /
+                               (idx128.total_s() - idx128.preprocess_s);
+  std::printf("\ndist-index 128-GPU speedup vs 1 GPU: workflow %.1fx (paper 79.41x), "
+              "training-only %.1fx (paper 115.49x)\n",
+              workflow_speedup, train_speedup);
+  std::printf("DDP->dist-index gap: %.2fx @4 GPUs (paper 2.16x), %.2fx @128 GPUs "
+              "(paper 11.78x)\n", r4, r128);
+
+  // Functional validation at thread scale: the real DistTrainer shows
+  // the same split — DDP fetches remotely, dist-index does not.
+  core::DistConfig dcfg;
+  dcfg.spec = data::spec_for(data::DatasetKind::kPems).scaled(160);
+  dcfg.spec.batch_size = 8;
+  dcfg.world = 4;
+  dcfg.epochs = 1;
+  dcfg.hidden_dim = 8;
+  dcfg.diffusion_steps = 1;
+  dcfg.max_batches_per_epoch = 4;
+  dcfg.max_val_batches = 1;
+  dcfg.mode = core::DistMode::kDistributedIndex;
+  core::DistResult fr_idx = core::DistTrainer(dcfg).run();
+  dcfg.mode = core::DistMode::kBaselineDdp;
+  core::DistResult fr_ddp = core::DistTrainer(dcfg).run();
+  std::printf("\nfunctional 4-worker validation: dist-index remote fetches=%llu, "
+              "DDP remote fetches=%llu (%s moved)\n",
+              static_cast<unsigned long long>(fr_idx.store.remote_snapshots),
+              static_cast<unsigned long long>(fr_ddp.store.remote_snapshots),
+              bench::gb(static_cast<double>(fr_ddp.store.remote_bytes)).c_str());
+
+  bench::verdict(r4 > 1.5 && r128 > 8.0 && r128 > r4,
+                 "dist-index beats DDP everywhere and the gap widens with scale "
+                 "(paper: 2.16x -> 11.78x)");
+  bench::verdict(workflow_speedup > 40.0 && train_speedup > workflow_speedup,
+                 "near-linear early scaling; fixed preprocessing bounds workflow "
+                 "speedup below training-only speedup");
+  bench::verdict(fr_idx.store.remote_snapshots == 0 && fr_ddp.store.remote_snapshots > 0,
+                 "functional runs confirm the communication split the model assumes");
+  return 0;
+}

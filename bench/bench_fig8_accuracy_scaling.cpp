@@ -1,0 +1,69 @@
+// Fig. 8 (+ §5.3.3): training/validation MAE as GPUs increase.
+//
+// Paper: optimal MAE degrades from 1.66 (1 GPU) to 2.23 (128 GPUs);
+// follow-up attributes most of it to the larger global batch, and LR
+// scaling recovers much of the loss.  Here worker counts 1..8 run as
+// REAL thread-level DDP (bit-exact gradient averaging); the global
+// batch grows with the worker count exactly as in the paper's setup.
+#include "bench_util.h"
+
+using namespace pgti;
+
+namespace {
+
+core::DistResult run_world(int world, bool scale_lr, int epochs) {
+  core::DistConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(24);
+  cfg.spec.horizon = 6;
+  // Strong scaling as in the paper: the DATASET is fixed; every
+  // configuration consumes the full training range each epoch, so more
+  // workers means fewer optimizer steps at a larger global batch.
+  cfg.spec.entries = 768;
+  cfg.spec.batch_size = 8;  // per worker; global batch = 8 * world
+  cfg.mode = core::DistMode::kDistributedIndex;
+  cfg.world = world;
+  cfg.epochs = epochs;
+  cfg.lr = 2e-3f;
+  cfg.scale_lr = scale_lr;
+  cfg.hidden_dim = 12;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 0;  // no cap: whole shard every epoch
+  cfg.max_val_batches = 4;
+  cfg.seed = 5;
+  return core::DistTrainer(cfg).run();
+}
+
+}  // namespace
+
+int main() {
+  const int epochs = bench::env_int("PGTI_BENCH_EPOCHS", 5);
+  bench::header("Fig. 8 — accuracy vs GPU count (global-batch effect)",
+                "paper Fig. 8 (paper MAE 1.66@1 -> 2.23@128; here real thread-DDP "
+                "at 1/2/4/8 workers)");
+
+  std::printf("%-6s %-12s %-14s %-12s\n", "GPUs", "global batch", "best val MAE",
+              "final train MAE");
+  std::vector<double> best;
+  for (int w : {1, 2, 4, 8}) {
+    core::DistResult r = run_world(w, /*scale_lr=*/false, epochs);
+    best.push_back(r.best_val_mae);
+    std::printf("%-6d %-12d %-14.4f %-12.4f\n", w, 8 * w, r.best_val_mae,
+                r.curve.back().train_mae);
+  }
+
+  // §5.3.3 follow-up: LR scaling mitigates the large-batch penalty.
+  core::DistResult plain8 = run_world(8, false, epochs);
+  core::DistResult scaled8 = run_world(8, true, epochs);
+  std::printf("\n8 workers with linear LR scaling: best val MAE %.4f (vs %.4f plain)\n",
+              scaled8.best_val_mae, plain8.best_val_mae);
+
+  const bool degrades = best.back() > best.front();
+  bench::verdict(degrades,
+                 "optimal MAE degrades as workers (and the global batch) grow "
+                 "(paper: 1.66 -> 2.23)");
+  bench::verdict(scaled8.best_val_mae < plain8.best_val_mae * 1.05,
+                 "LR scaling recovers much of the large-batch penalty (§5.3.3)");
+  bench::note("worker counts beyond 8 need the cluster; the driver (global batch "
+              "size) is fully exercised at thread scale");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 9 (+ §5.4): larger-than-memory mode — generalized-
+// distributed-index-batching vs baseline DDP, both with batch-level
+// shuffling, single epoch on PeMS, 4..128 GPUs.
+//
+// Paper: generalized-index beats the baseline's epoch time by up to
+// 2.28x (DDP: 303 s @4 -> 231 s @128) by moving ~2*horizon times less
+// data, and cuts 4-worker memory from 479.66 GB to 53.28 GB.
+#include "bench_util.h"
+
+using namespace pgti;
+
+int main() {
+  bench::header("Fig. 9 — batch-shuffling epoch runtime: generalized-index vs DDP",
+                "paper Fig. 9 (single epoch, cluster model + functional memory "
+                "measurement)");
+
+  dist::ClusterModelParams params = bench::pems_cluster_params();
+  params.epochs = 1;  // Fig. 9 reports one epoch
+  dist::ClusterModel model(params);
+
+  std::printf("%-5s | %-40s | %-40s | ratio\n", "GPUs",
+              "DDP epoch [s] (comp + data comm)", "generalized-index epoch [s]");
+  double worst_ratio = 1e9, best_ratio = 0.0;
+  for (int w : {4, 8, 16, 32, 64, 128}) {
+    const auto ddp = model.evaluate(w, dist::DistStrategy::kBaselineDdpBatchShuffle);
+    const auto idx = model.evaluate(w, dist::DistStrategy::kGeneralizedIndex);
+    const double de = ddp.epoch_s(1), ie = idx.epoch_s(1);
+    const double ratio = de / ie;
+    worst_ratio = std::min(worst_ratio, ratio);
+    best_ratio = std::max(best_ratio, ratio);
+    std::printf("%-5d | total %7.1f = comp %6.1f + comm %7.1f | total %7.1f = comp "
+                "%6.1f + comm %6.1f | %5.2fx\n",
+                w, de, ddp.compute_s + ddp.allreduce_s, ddp.data_comm_s, ie,
+                idx.compute_s + idx.allreduce_s, idx.data_comm_s, ratio);
+  }
+  std::printf("(paper anchors: DDP 303 s @4 GPUs; generalized-index up to 2.28x "
+              "faster; data volume ratio ~2*horizon = %lldx)\n",
+              static_cast<long long>(2 * data::spec_for(data::DatasetKind::kPems).horizon));
+
+  // Data-plane memory comparison at thread scale (paper §5.4 with 4
+  // workers: 53.28 GB vs 479.66 GB): 4 partitioned IndexDatasets vs
+  // the materialized snapshot arrays the baseline distributes.
+  data::DatasetSpec mspec = data::spec_for(data::DatasetKind::kPems).scaled(60);
+  SensorNetwork net = data::network_for(mspec);
+  Tensor raw = data::generate_signal(mspec, net, 17);
+  auto& tracker = MemoryTracker::instance();
+  const int world = 4;
+
+  std::size_t index_bytes;
+  {
+    const std::size_t before = tracker.current(kHostSpace);
+    data::StandardScaler scaler;
+    {
+      Tensor stage1 = data::add_time_feature(raw, mspec);
+      scaler = data::fit_scaler(stage1, mspec);
+    }
+    std::vector<std::unique_ptr<data::IndexDataset>> parts;
+    const std::int64_t s = mspec.num_snapshots();
+    const std::int64_t chunk = (s + world - 1) / world;
+    for (int r = 0; r < world; ++r) {
+      const std::int64_t lo = std::min<std::int64_t>(chunk * r, s);
+      const std::int64_t hi = std::min<std::int64_t>(lo + chunk, s);
+      const std::int64_t len =
+          std::min(mspec.entries, hi - 1 + 2 * mspec.horizon) - lo;
+      parts.push_back(std::make_unique<data::IndexDataset>(
+          raw.slice(0, lo, len).clone(), mspec, lo, scaler, lo, hi));
+    }
+    index_bytes = tracker.current(kHostSpace) - before;
+  }
+  std::size_t ddp_bytes;
+  {
+    const std::size_t before = tracker.current(kHostSpace);
+    data::StandardDataset shared(raw, mspec);
+    ddp_bytes = tracker.current(kHostSpace) - before;
+  }
+  std::printf("\n4-worker data-plane memory: generalized-index %s vs baseline DDP %s "
+              "(%.2fx; paper: 53.28 GB vs 479.66 GB = 9.0x)\n",
+              bench::gb(static_cast<double>(index_bytes)).c_str(),
+              bench::gb(static_cast<double>(ddp_bytes)).c_str(),
+              static_cast<double>(ddp_bytes) / static_cast<double>(index_bytes));
+
+  // Functional epoch at thread scale: batch shuffling keeps accesses local.
+  core::DistConfig dcfg;
+  dcfg.spec = data::spec_for(data::DatasetKind::kPems).scaled(120);
+  dcfg.spec.batch_size = 8;
+  dcfg.world = world;
+  dcfg.epochs = 1;
+  dcfg.hidden_dim = 8;
+  dcfg.diffusion_steps = 1;
+  dcfg.max_batches_per_epoch = 4;
+  dcfg.max_val_batches = 1;
+  dcfg.mode = core::DistMode::kGeneralizedIndex;
+  core::DistResult idx_run = core::DistTrainer(dcfg).run();
+
+  bench::verdict(worst_ratio > 1.3,
+                 "generalized-index outperforms baseline DDP at every scale "
+                 "(paper: up to 2.28x)");
+  bench::verdict(index_bytes * 4 < ddp_bytes,
+                 "partitioned raw data needs a fraction of the baseline's memory "
+                 "(paper: 53.28 vs 479.66 GB)");
+  bench::verdict(idx_run.store.remote_snapshots == 0,
+                 "batch-level shuffling keeps every access partition-local");
+  bench::note("our generalized mode scales better at 128 GPUs than the paper's "
+              "(its Dask redistribution overheads persist at scale; our locality "
+              "model is best-case)");
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) behind the paper's claims, plus
+// the design-choice ablations called out in DESIGN.md §5:
+//   * snapshot reconstruction: zero-copy views vs materialized copies
+//   * batch assembly cost
+//   * consolidated vs per-item remote fetch requests (baseline DDP opt)
+//   * gradient bucketing vs per-tensor all-reduce
+//   * core compute kernels (matmul / SpMM)
+#include <benchmark/benchmark.h>
+
+#include "core/pgt_i.h"
+#include "tensor/tensor_ops.h"
+
+using namespace pgti;
+
+namespace {
+
+data::DatasetSpec bench_spec() {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(32);
+  spec.horizon = 12;
+  return spec;
+}
+
+Tensor bench_raw(const data::DatasetSpec& spec) {
+  SensorNetwork net = data::network_for(spec);
+  return data::generate_signal(spec, net, 11);
+}
+
+// --- snapshot reconstruction: the core index-batching claim -----------
+
+void BM_SnapshotView(benchmark::State& state) {
+  data::DatasetSpec spec = bench_spec();
+  data::IndexDataset ds(bench_raw(spec), spec);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto [x, y] = ds.get(i);
+    benchmark::DoNotOptimize(x.data());
+    benchmark::DoNotOptimize(y.data());
+    i = (i + 1) % ds.num_snapshots();
+  }
+}
+BENCHMARK(BM_SnapshotView);
+
+void BM_SnapshotMaterialize(benchmark::State& state) {
+  data::DatasetSpec spec = bench_spec();
+  data::IndexDataset ds(bench_raw(spec), spec);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto [x, y] = ds.get(i);
+    Tensor xc = x.clone();  // what standard preprocessing stores per window
+    Tensor yc = y.clone();
+    benchmark::DoNotOptimize(xc.data());
+    benchmark::DoNotOptimize(yc.data());
+    i = (i + 1) % ds.num_snapshots();
+  }
+}
+BENCHMARK(BM_SnapshotMaterialize);
+
+// --- batch assembly -----------------------------------------------------
+
+void BM_BatchAssembly(benchmark::State& state) {
+  data::DatasetSpec spec = bench_spec();
+  spec.batch_size = state.range(0);
+  data::IndexDataset ds(bench_raw(spec), spec);
+  data::IndexSource source(ds);
+  data::LoaderOptions opt;
+  opt.batch_size = spec.batch_size;
+  opt.sampler = data::SamplerOptions{data::ShuffleMode::kGlobal, 0, 1, 1, spec.batch_size};
+  data::DataLoader loader(source, opt, 0, ds.splits().train_end);
+  loader.start_epoch(0);
+  data::Batch b;
+  for (auto _ : state) {
+    if (!loader.next(b)) {
+      loader.start_epoch(0);
+      continue;
+    }
+    benchmark::DoNotOptimize(b.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.batch_size);
+}
+BENCHMARK(BM_BatchAssembly)->Arg(8)->Arg(32);
+
+// --- remote-fetch consolidation ablation (paper §5 baseline tuning) -----
+
+void BM_FetchRequests(benchmark::State& state) {
+  const bool consolidate = state.range(0) != 0;
+  dist::DistStore store(100000, 4 << 20, 16, dist::NetworkModel{}, consolidate);
+  std::vector<std::int64_t> batch;
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(static_cast<std::int64_t>(rng.uniform_int(100000)));
+  }
+  double total = 0.0;
+  for (auto _ : state) {
+    total += store.fetch_batch(0, batch);
+  }
+  state.counters["modeled_s_per_batch"] = benchmark::Counter(
+      store.stats().modeled_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FetchRequests)->Arg(0)->Arg(1);
+
+// --- gradient bucketing ablation ------------------------------------------
+
+void BM_AllreduceBucketed(benchmark::State& state) {
+  const int world = 4;
+  const std::int64_t n_params = 16;
+  for (auto _ : state) {
+    dist::Cluster cluster(world);
+    cluster.run([&](dist::Communicator& comm) {
+      std::vector<Variable> params;
+      for (std::int64_t i = 0; i < n_params; ++i) {
+        Variable p(Tensor::zeros({4096}), true);
+        p.grad().fill_(static_cast<float>(comm.rank()));
+        params.push_back(p);
+      }
+      dist::GradBucket bucket(params);
+      for (int step = 0; step < 10; ++step) bucket.allreduce_average(comm, params);
+    });
+  }
+}
+BENCHMARK(BM_AllreduceBucketed)->Unit(benchmark::kMillisecond);
+
+void BM_AllreducePerTensor(benchmark::State& state) {
+  const int world = 4;
+  const std::int64_t n_params = 16;
+  for (auto _ : state) {
+    dist::Cluster cluster(world);
+    cluster.run([&](dist::Communicator& comm) {
+      std::vector<Variable> params;
+      for (std::int64_t i = 0; i < n_params; ++i) {
+        Variable p(Tensor::zeros({4096}), true);
+        p.grad().fill_(static_cast<float>(comm.rank()));
+        params.push_back(p);
+      }
+      for (int step = 0; step < 10; ++step) {
+        for (Variable& p : params) {
+          comm.allreduce_mean(p.grad().data(), p.grad().numel());
+        }
+      }
+    });
+  }
+}
+BENCHMARK(BM_AllreducePerTensor)->Unit(benchmark::kMillisecond);
+
+// --- compute kernels ----------------------------------------------------------
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpmmBatched(benchmark::State& state) {
+  const std::int64_t n = 256;
+  SensorNetworkOptions opt;
+  opt.num_nodes = n;
+  SensorNetwork net = build_sensor_network(opt);
+  Csr p = net.adjacency.row_normalized();
+  Rng rng(2);
+  Tensor x = Tensor::randn({8, n, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = p.spmm_batched(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * p.nnz() * 32);
+}
+BENCHMARK(BM_SpmmBatched);
+
+void BM_DcgruForwardBackward(benchmark::State& state) {
+  data::DatasetSpec spec = bench_spec();
+  spec.horizon = 6;
+  SensorNetwork net = data::network_for(spec);
+  auto bundle = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 16, 1, 1, 3);
+  Rng rng(4);
+  Tensor x = Tensor::randn({8, 6, spec.nodes, spec.features}, rng);
+  Tensor y = Tensor::randn({8, 6, spec.nodes, 1}, rng);
+  for (auto _ : state) {
+    auto outs = bundle.model->forward_seq(x);
+    Variable loss = core::seq_loss(outs, y);
+    bundle.model->zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(loss.value().item());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DcgruForwardBackward)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

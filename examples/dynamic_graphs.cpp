@@ -1,0 +1,91 @@
+// Dynamic graphs with temporal signal (paper §7 future work): the road
+// network's topology changes over time (closures/incidents), and the
+// DCGRU consumes each step with that step's own diffusion supports —
+// index-batching still serves zero-copy snapshots with a span of graph
+// references instead of duplicated per-window graph lists.
+//
+//   ./build/examples/dynamic_graphs
+#include <cstdio>
+#include <map>
+
+#include "core/pgt_i.h"
+#include "data/dynamic_graph.h"
+#include "optim/optim.h"
+
+using namespace pgti;
+
+int main() {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kMetrLa).scaled(16);
+  spec.horizon = 6;
+  spec.batch_size = 1;  // per-step graphs differ across snapshots
+
+  auto series = data::generate_dynamic_graph_signal(spec, /*seed=*/3,
+                                                    /*rewires_per_period=*/6);
+  data::DynamicIndexDataset dataset(std::move(series), spec);
+  std::printf("dynamic series: %lld snapshots, %zu distinct graph versions\n",
+              static_cast<long long>(dataset.num_snapshots()),
+              dataset.distinct_graphs());
+
+  // Cache diffusion supports per distinct graph version.
+  std::map<const Csr*, nn::GraphSupports> support_cache;
+  auto supports_for = [&](const std::shared_ptr<const Csr>& g) -> const nn::GraphSupports& {
+    auto it = support_cache.find(g.get());
+    if (it == support_cache.end()) {
+      it = support_cache
+               .emplace(g.get(), nn::GraphSupports::from(dual_random_walk_supports(*g)))
+               .first;
+    }
+    return it->second;
+  };
+
+  const auto first = dataset.get(0);
+  const nn::GraphSupports& base = supports_for(first.graphs[0]);
+  Rng rng(9);
+  nn::DCGRUCell cell(spec.features, 16, base, /*K=*/1, rng);
+  nn::Linear readout(16, 1, rng);
+  std::vector<Variable> params = cell.parameters();
+  for (Variable& p : readout.parameters()) params.push_back(p);
+  optim::Adam::Options aopt;
+  aopt.lr = 3e-3f;
+  optim::Adam opt(params, aopt);
+
+  const auto& splits = dataset.splits();
+  const double sigma = dataset.scaler().stddev;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    double loss_sum = 0.0;
+    int count = 0;
+    // Stride across the training range so the run crosses several
+    // topology versions within each epoch.
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, (splits.train_end - splits.train_begin) / 40);
+    for (std::int64_t i = splits.train_begin; i < splits.train_end; i += stride) {
+      const auto snap = dataset.get(i);
+      Variable h(Tensor::zeros({1, spec.nodes, 16}), false);
+      Variable loss;
+      for (std::int64_t t = 0; t < spec.horizon; ++t) {
+        Tensor xt =
+            snap.x.select(0, t).contiguous().reshape({1, spec.nodes, spec.features});
+        h = cell.forward(Variable(xt, false),
+                         h, supports_for(snap.graphs[static_cast<std::size_t>(t)]));
+        Variable pred = ag::reshape(
+            readout.forward(ag::reshape(h, {spec.nodes, 16})), {1, spec.nodes, 1});
+        Tensor yt = snap.y.select(0, t).slice(-1, 0, 1).contiguous().reshape(
+            {1, spec.nodes, 1});
+        Variable l = ag::mae_loss(pred, yt);
+        loss = t == 0 ? l : ag::add(loss, l);
+      }
+      loss = ag::mul_scalar(loss, 1.0f / static_cast<float>(spec.horizon));
+      cell.zero_grad();
+      readout.zero_grad();
+      loss.backward();
+      opt.step();
+      loss_sum += loss.value().item();
+      ++count;
+    }
+    std::printf("epoch %d | train MAE %.3f mph over evolving topology\n", epoch,
+                loss_sum / count * sigma);
+  }
+  std::printf("support cache holds %zu graph versions (shared across windows)\n",
+              support_cache.size());
+  return 0;
+}

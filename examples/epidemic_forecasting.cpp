@@ -1,0 +1,40 @@
+// Epidemiological forecasting: A3T-GCN (attention temporal GCN) on a
+// Chickenpox-Hungary-like case-count workload — the paper's evidence
+// that index-batching generalizes across the sequence-to-sequence
+// model family (§5.5).
+//
+//   ./build/examples/epidemic_forecasting
+#include <cstdio>
+
+#include "core/pgt_i.h"
+
+using namespace pgti;
+
+int main() {
+  core::TrainConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kChickenpoxHungary);
+  cfg.spec.batch_size = 4;  // 522 weekly entries only (paper §5)
+  cfg.model = core::ModelKind::kA3tgcn;
+  cfg.mode = core::BatchingMode::kIndex;
+  cfg.epochs = 8;
+  cfg.hidden_dim = 16;
+  cfg.lr = 4e-3f;
+  cfg.max_batches_per_epoch = 30;
+  cfg.max_val_batches = 8;
+  cfg.use_device = false;  // tiny dataset: plain host training
+
+  std::printf("A3T-GCN on %s: %lld counties, %lld weekly entries, horizon %lld\n",
+              cfg.spec.name.c_str(), static_cast<long long>(cfg.spec.nodes),
+              static_cast<long long>(cfg.spec.entries),
+              static_cast<long long>(cfg.spec.horizon));
+
+  core::TrainResult r = core::Trainer(cfg).run();
+  for (const auto& em : r.curve) {
+    std::printf("epoch %2d | train MAE %7.3f cases | val MAE %7.3f cases\n", em.epoch,
+                em.train_mae, em.val_mae);
+  }
+  std::printf("test MSE (normalized): %.4f\n", r.final_test_mse);
+  std::printf("peak memory: %s (index-batching holds ONE copy of the series)\n",
+              format_bytes(static_cast<double>(r.peak_host_bytes)).c_str());
+  return 0;
+}

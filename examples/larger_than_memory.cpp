@@ -1,0 +1,82 @@
+// Larger-than-memory training (paper §5.4): when even one
+// index-batched copy per worker exceeds node memory, generalized-
+// distributed-index-batching partitions the RAW entries across
+// workers and switches to batch-level shuffling, keeping every access
+// partition-local.
+//
+// The program first measures both strategies' true peak memory, then
+// re-runs them under a cap set between the two peaks: the full-copy
+// strategy OOMs, the partitioned one trains.
+//
+//   ./build/examples/larger_than_memory
+#include <cstdio>
+
+#include "core/pgt_i.h"
+
+using namespace pgti;
+
+namespace {
+
+core::DistConfig make_config(core::DistMode mode) {
+  core::DistConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPems).scaled(32);
+  cfg.spec.horizon = 6;
+  cfg.spec.batch_size = 4;
+  cfg.mode = mode;
+  cfg.world = 4;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 5;
+  cfg.max_val_batches = 1;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset_bytes = static_cast<std::size_t>(
+      data::index_batching_bytes(make_config(core::DistMode::kDistributedIndex).spec,
+                                 sizeof(float)));
+  std::printf("index-batched dataset: %s (x4 workers = %s for full copies)\n",
+              format_bytes(static_cast<double>(dataset_bytes)).c_str(),
+              format_bytes(static_cast<double>(dataset_bytes) * 4).c_str());
+
+  // Phase 1: measure true peaks, uncapped.
+  core::DistResult full =
+      core::DistTrainer(make_config(core::DistMode::kDistributedIndex)).run();
+  core::DistResult part =
+      core::DistTrainer(make_config(core::DistMode::kGeneralizedIndex)).run();
+  std::printf("peak memory: full copy per worker %s | partitioned %s\n",
+              format_bytes(static_cast<double>(full.peak_host_bytes)).c_str(),
+              format_bytes(static_cast<double>(part.peak_host_bytes)).c_str());
+
+  // Phase 2: cap the node between the two peaks.
+  auto& tracker = MemoryTracker::instance();
+  const std::size_t headroom = (full.peak_host_bytes + part.peak_host_bytes) / 2;
+  tracker.set_limit(kHostSpace, tracker.current(kHostSpace) + headroom);
+  std::printf("node memory capped at +%s\n",
+              format_bytes(static_cast<double>(headroom)).c_str());
+
+  try {
+    core::DistTrainer(make_config(core::DistMode::kDistributedIndex)).run();
+    std::printf("unexpected: full-copy mode fit under the cap\n");
+  } catch (const OutOfMemoryError& e) {
+    std::printf("distributed-index (full copy per worker): OOM as expected\n  (%s)\n",
+                e.what());
+  }
+
+  core::DistResult capped =
+      core::DistTrainer(make_config(core::DistMode::kGeneralizedIndex)).run();
+  tracker.set_limit(kHostSpace, 0);
+
+  std::printf("generalized-distributed-index-batching under the same cap:\n");
+  for (const auto& em : capped.curve) {
+    std::printf("  epoch %d | train MAE %.3f | val MAE %.3f\n", em.epoch, em.train_mae,
+                em.val_mae);
+  }
+  std::printf("  peak %s, remote fetches: %llu (batch-level shuffle stays local)\n",
+              format_bytes(static_cast<double>(capped.peak_host_bytes)).c_str(),
+              static_cast<unsigned long long>(capped.store.remote_snapshots));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: train a PGT-DCRNN with index-batching on a scaled
+// PeMS-BAY-like workload and print the convergence curve plus the
+// memory/transfer ledger that makes index-batching worth using.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pgt_i.h"
+
+int main() {
+  using namespace pgti;
+
+  core::TrainConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 6;           // shorter windows keep the demo snappy
+  cfg.spec.batch_size = 16;
+  cfg.model = core::ModelKind::kPgtDcrnn;
+  cfg.mode = core::BatchingMode::kIndex;  // the paper's contribution
+  cfg.epochs = 3;
+  cfg.hidden_dim = 16;
+  cfg.max_batches_per_epoch = 20;
+  cfg.max_val_batches = 5;
+
+  std::printf("PGT-I quickstart: %s (%lld nodes, %lld entries, horizon %lld)\n",
+              cfg.spec.name.c_str(), static_cast<long long>(cfg.spec.nodes),
+              static_cast<long long>(cfg.spec.entries),
+              static_cast<long long>(cfg.spec.horizon));
+
+  core::TrainResult r = core::Trainer(cfg).run();
+
+  std::printf("model parameters : %lld\n", static_cast<long long>(r.model_parameters));
+  std::printf("preprocess       : %.2f s\n", r.preprocess_seconds);
+  std::printf("train            : %.2f s\n", r.train_seconds);
+  std::printf("peak host memory : %s\n", format_bytes(static_cast<double>(r.peak_host_bytes)).c_str());
+  std::printf("peak gpu memory  : %s\n", format_bytes(static_cast<double>(r.peak_device_bytes)).c_str());
+  std::printf("h2d transfers    : %llu (%s)\n",
+              static_cast<unsigned long long>(r.transfers.h2d_count),
+              format_bytes(static_cast<double>(r.transfers.h2d_bytes)).c_str());
+  for (const core::EpochMetrics& em : r.curve) {
+    std::printf("epoch %2d | train MAE %.4f | val MAE %.4f | %.2f s\n", em.epoch,
+                em.train_mae, em.val_mae, em.wall_seconds);
+  }
+  std::printf("best val MAE     : %.4f (original units)\n", r.best_val_mae);
+  return 0;
+}

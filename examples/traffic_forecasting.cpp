@@ -1,0 +1,105 @@
+// Traffic forecasting (the paper's headline domain): train PGT-DCRNN
+// on a PeMS-BAY-like workload with GPU-index-batching, handle missing
+// sensor readings with the masked MAE loss, decay the learning rate,
+// and checkpoint the best model.
+//
+//   ./build/examples/traffic_forecasting
+#include <cstdio>
+
+#include "core/pgt_i.h"
+#include "data/dataloader.h"
+#include "nn/serialize.h"
+#include "optim/optim.h"
+
+using namespace pgti;
+
+int main() {
+  // Workload: scaled PeMS-BAY with realistic sensor dropouts.
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(24);
+  spec.horizon = 6;
+  spec.batch_size = 16;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, /*seed=*/42);
+  data::inject_missing_data(raw, /*missing_fraction=*/0.05, /*mean_run=*/12, 42);
+
+  // GPU-index-batching: one upfront upload, all snapshots are device
+  // views (paper §4.1).
+  SimDevice& gpu = DeviceManager::instance().gpu(0);
+  gpu.reset_stats();
+  data::IndexDataset dataset(raw, spec, gpu);
+  data::IndexSource source(dataset);
+  std::printf("dataset: %lld snapshots, %s on device, %llu upload(s)\n",
+              static_cast<long long>(dataset.num_snapshots()),
+              format_bytes(static_cast<double>(dataset.data().storage_bytes())).c_str(),
+              static_cast<unsigned long long>(gpu.stats().h2d_count));
+
+  core::ModelBundle bundle = core::make_model(core::ModelKind::kPgtDcrnn, spec, net,
+                                              /*hidden=*/16, /*K=*/2, /*layers=*/1, 42);
+  std::vector<Variable> params = bundle.model->parameters();
+  optim::Adam::Options adam_opt;
+  adam_opt.lr = 2e-3f;
+  optim::Adam opt(params, adam_opt);
+  optim::StepDecaySchedule schedule(adam_opt.lr, /*step_epochs=*/3, /*gamma=*/0.5f);
+
+  const data::SplitRanges& splits = source.splits();
+  data::LoaderOptions lopt;
+  lopt.batch_size = spec.batch_size;
+  lopt.sampler = data::SamplerOptions{data::ShuffleMode::kGlobal, 0, 1, 42, spec.batch_size};
+  lopt.device = &gpu;
+  data::DataLoader train(source, lopt, splits.train_begin, splits.train_end);
+  data::LoaderOptions vopt = lopt;
+  vopt.sampler.mode = data::ShuffleMode::kNone;
+  vopt.drop_last = false;
+  data::DataLoader val(source, vopt, splits.val_begin, splits.val_end);
+
+  const double sigma = source.scaler().stddev;
+  double best_val = 1e30;
+  const int epochs = 6;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    opt.set_lr(schedule.lr_for_epoch(epoch));
+    train.start_epoch(epoch);
+    data::Batch batch;
+    double train_sum = 0.0;
+    int batches = 0;
+    while (train.next(batch) && batches < 20) {
+      auto outs = bundle.model->forward_seq(batch.x);
+      // Masked loss: entries where the (normalized) target equals the
+      // scaler-transform of 0 are missing sensors.
+      const float null_norm = source.scaler().transform(0.0f);
+      Variable loss;
+      for (std::size_t t = 0; t < outs.size(); ++t) {
+        Variable l = ag::masked_mae_loss(
+            outs[t], batch.y.select(1, static_cast<std::int64_t>(t)).contiguous(),
+            null_norm);
+        loss = t == 0 ? l : ag::add(loss, l);
+      }
+      loss = ag::mul_scalar(loss, 1.0f / static_cast<float>(outs.size()));
+      bundle.model->zero_grad();
+      loss.backward();
+      opt.step();
+      train_sum += loss.value().item();
+      ++batches;
+    }
+
+    val.start_epoch(0);
+    double val_sum = 0.0;
+    int val_batches = 0;
+    while (val.next(batch) && val_batches < 6) {
+      auto outs = bundle.model->forward_seq(batch.x);
+      val_sum += core::seq_mae(outs, batch.y);
+      ++val_batches;
+    }
+    const double val_mae = val_sum / val_batches * sigma;
+    std::printf("epoch %d | lr %.4f | train MAE %.3f mph | val MAE %.3f mph\n", epoch,
+                opt.lr(), train_sum / batches * sigma, val_mae);
+    if (val_mae < best_val) {
+      best_val = val_mae;
+      nn::save_checkpoint(*bundle.model, "/tmp/pgti_traffic_best.bin");
+    }
+  }
+  std::printf("best val MAE %.3f mph; checkpoint at /tmp/pgti_traffic_best.bin\n",
+              best_val);
+  std::printf("h2d transfers after training: %llu (GPU-index keeps data resident)\n",
+              static_cast<unsigned long long>(gpu.stats().h2d_count));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Finite-difference gradient checking used throughout the test suite.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace pgti::ag {
+
+/// Result of a gradient check: worst absolute / relative error over
+/// all coordinates of `input`.
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+};
+
+/// Compares the analytic gradient of scalar-valued fn(input) against
+/// central finite differences.  `fn` must return a scalar Variable and
+/// be a pure function of the input's value.
+inline GradCheckResult gradcheck(const std::function<Variable(const Variable&)>& fn,
+                                 Variable& input, float eps = 1e-3f) {
+  Variable out = fn(input);
+  input.zero_grad();
+  out.backward();
+  Tensor analytic = input.grad().clone();
+
+  GradCheckResult result;
+  Tensor& x = input.mutable_value();
+  float* px = x.data();
+  const float* pa = analytic.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = px[i];
+    px[i] = orig + eps;
+    const double fp = static_cast<double>(fn(input).value().item());
+    px[i] = orig - eps;
+    const double fm = static_cast<double>(fn(input).value().item());
+    px[i] = orig;
+    const double numeric = (fp - fm) / (2.0 * static_cast<double>(eps));
+    const double abs_err = std::fabs(numeric - static_cast<double>(pa[i]));
+    const double denom = std::max(1.0, std::max(std::fabs(numeric),
+                                                std::fabs(static_cast<double>(pa[i]))));
+    result.max_abs_err = std::max(result.max_abs_err, abs_err);
+    result.max_rel_err = std::max(result.max_rel_err, abs_err / denom);
+  }
+  return result;
+}
+
+}  // namespace pgti::ag

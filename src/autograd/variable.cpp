@@ -1,0 +1,123 @@
+#include "autograd/variable.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+
+Variable::Variable(Tensor value, bool requires_grad) : impl_(std::make_shared<Impl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+  impl_->needs_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  if (!impl_) throw std::logic_error("Variable::value on undefined variable");
+  return impl_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  if (!impl_) throw std::logic_error("Variable::mutable_value on undefined variable");
+  return impl_->value;
+}
+
+Tensor& Variable::grad() {
+  if (!impl_) throw std::logic_error("Variable::grad on undefined variable");
+  if (!impl_->grad.defined()) {
+    impl_->grad = Tensor::zeros(impl_->value.shape(), impl_->value.space());
+  }
+  return impl_->grad;
+}
+
+const Tensor& Variable::grad() const {
+  if (!impl_ || !impl_->grad.defined()) {
+    throw std::logic_error("Variable::grad: gradient not populated");
+  }
+  return impl_->grad;
+}
+
+void Variable::zero_grad() {
+  if (impl_ && impl_->grad.defined()) impl_->grad.fill_(0.0f);
+}
+
+Variable Variable::detach() const {
+  if (!impl_) return Variable();
+  return Variable(impl_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::make_node(Tensor value, std::vector<Variable> inputs,
+                             std::function<void(Impl&)> backward_fn) {
+  auto impl = std::make_shared<Impl>();
+  impl->value = std::move(value);
+  bool needs = false;
+  for (const Variable& v : inputs) {
+    if (v.defined() && v.needs_grad()) {
+      needs = true;
+      break;
+    }
+  }
+  impl->needs_grad = needs;
+  if (needs) {
+    impl->parents.reserve(inputs.size());
+    for (const Variable& v : inputs) {
+      if (v.defined()) impl->parents.push_back(v.impl());
+    }
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Variable(std::move(impl));
+}
+
+void Variable::accumulate(const std::shared_ptr<Impl>& impl, const Tensor& delta) {
+  if (!impl || !impl->needs_grad) return;
+  if (!impl->grad.defined()) {
+    impl->grad = Tensor::zeros(impl->value.shape(), impl->value.space());
+  }
+  Tensor d = delta.contiguous();
+  ops::add_(impl->grad, d);
+}
+
+namespace {
+
+void topo_visit(const std::shared_ptr<Variable::Impl>& node,
+                std::unordered_set<Variable::Impl*>& seen,
+                std::vector<std::shared_ptr<Variable::Impl>>& order) {
+  if (!node || !node->needs_grad) return;
+  if (!seen.insert(node.get()).second) return;
+  for (const auto& p : node->parents) topo_visit(p, seen, order);
+  order.push_back(node);
+}
+
+}  // namespace
+
+void Variable::backward() {
+  if (!impl_) throw std::logic_error("Variable::backward on undefined variable");
+  if (impl_->value.numel() != 1) {
+    throw std::logic_error("Variable::backward without seed requires a scalar value");
+  }
+  backward(Tensor::ones(impl_->value.shape(), impl_->value.space()));
+}
+
+void Variable::backward(const Tensor& grad_output) {
+  if (!impl_) throw std::logic_error("Variable::backward on undefined variable");
+  if (grad_output.shape() != impl_->value.shape()) {
+    throw std::invalid_argument("Variable::backward: grad_output shape mismatch");
+  }
+  accumulate(impl_, grad_output);
+
+  std::unordered_set<Impl*> seen;
+  std::vector<std::shared_ptr<Impl>> order;
+  topo_visit(impl_, seen, order);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Impl& node = **it;
+    if (node.backward_fn && node.grad.defined()) {
+      node.backward_fn(node);
+      // Free intermediate gradients eagerly; only leaves retain grads
+      // (so repeated backward() calls accumulate exactly once per call).
+      if (!node.requires_grad) node.grad = Tensor();
+    }
+  }
+}
+
+}  // namespace pgti

@@ -1,0 +1,69 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable wraps a Tensor and (optionally) a node in a dynamically
+// built computation tape.  backward() performs a topological sweep and
+// accumulates gradients into every Variable that requires them.  This
+// is the training substrate for DCRNN / A3T-GCN / ST-LLM; op gradients
+// are verified against central finite differences in the test suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgti {
+
+class Variable {
+ public:
+  struct Impl {
+    Tensor value;
+    Tensor grad;  // lazily allocated, same shape/space as value
+    bool requires_grad = false;
+    bool needs_grad = false;  // requires_grad or any ancestor does
+    std::vector<std::shared_ptr<Impl>> parents;
+    // Reads this->grad, accumulates into parents' grads.
+    std::function<void(Impl&)> backward_fn;
+  };
+
+  Variable() = default;
+
+  /// Leaf variable.  requires_grad marks it a trainable parameter.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const noexcept { return impl_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  bool requires_grad() const noexcept { return impl_ && impl_->requires_grad; }
+  bool needs_grad() const noexcept { return impl_ && impl_->needs_grad; }
+
+  /// Gradient tensor (allocated zeros on first access).
+  Tensor& grad();
+  const Tensor& grad() const;
+  bool has_grad() const noexcept { return impl_ && impl_->grad.defined(); }
+  void zero_grad();
+
+  /// Runs reverse-mode accumulation from this (scalar) variable.
+  void backward();
+  /// Runs reverse-mode accumulation seeding with grad_output.
+  void backward(const Tensor& grad_output);
+
+  /// Detached view of the same value (cuts the tape).
+  Variable detach() const;
+
+  std::shared_ptr<Impl> impl() const { return impl_; }
+
+  /// Internal: builds a non-leaf node.  Used by ops.
+  static Variable make_node(Tensor value, std::vector<Variable> inputs,
+                            std::function<void(Impl&)> backward_fn);
+
+  /// Internal: adds `delta` into impl->grad (allocating if needed).
+  static void accumulate(const std::shared_ptr<Impl>& impl, const Tensor& delta);
+
+ private:
+  explicit Variable(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace pgti

@@ -1,0 +1,71 @@
+// PGT-I public configuration types.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset_spec.h"
+#include "data/dataloader.h"
+
+namespace pgti::core {
+
+/// How training batches are produced (paper §4.1).
+enum class BatchingMode {
+  kStandard,  ///< Algorithm 1: fully materialized x/y arrays
+  kPadded,    ///< kStandard + the original DCRNN padded-copy dataloader
+  kIndex,     ///< index-batching: host-resident single copy + views
+  kGpuIndex,  ///< GPU-index-batching: device-resident single copy
+};
+
+/// Which sequence-to-sequence model trains.
+enum class ModelKind { kPgtDcrnn, kDcrnn, kA3tgcn, kStllm };
+
+/// Single-worker workflow configuration.
+struct TrainConfig {
+  data::DatasetSpec spec;
+  ModelKind model = ModelKind::kPgtDcrnn;
+  BatchingMode mode = BatchingMode::kIndex;
+  int epochs = 10;
+  float lr = 1e-3f;
+  std::int64_t hidden_dim = 32;
+  int diffusion_steps = 2;
+  int num_layers = 2;  ///< DCRNN encoder/decoder depth
+  std::uint64_t seed = 42;
+  data::ShuffleMode shuffle = data::ShuffleMode::kGlobal;
+  /// Train on a simulated device (GPU) vs. pure host execution.
+  bool use_device = true;
+  int device_index = 0;
+  /// Record MemoryTracker timeline samples at phase/batch boundaries.
+  bool record_timeline = false;
+  /// Caps train batches per epoch (0 = no cap); benches use this to
+  /// bound wall time at paper-faithful per-batch behaviour.
+  std::int64_t max_batches_per_epoch = 0;
+  std::int64_t max_val_batches = 0;
+};
+
+/// Distributed strategy (paper §4.2, §5.4).
+enum class DistMode {
+  kDistributedIndex,         ///< full local copy per worker, global shuffle
+  kBaselineDdp,              ///< Dask-style partitioned store, global shuffle
+  kGeneralizedIndex,         ///< partitioned index data, batch-level shuffle
+  kBaselineDdpBatchShuffle,  ///< partitioned store, batch-level shuffle
+};
+
+/// Multi-worker workflow configuration.
+struct DistConfig {
+  data::DatasetSpec spec;
+  ModelKind model = ModelKind::kPgtDcrnn;
+  DistMode mode = DistMode::kDistributedIndex;
+  int world = 4;
+  int epochs = 10;
+  float lr = 1e-3f;
+  /// Apply the linear LR-scaling rule with warmup (paper §5.3.3).
+  bool scale_lr = false;
+  int warmup_epochs = 3;
+  std::int64_t hidden_dim = 32;
+  int diffusion_steps = 2;
+  std::uint64_t seed = 42;
+  std::int64_t max_batches_per_epoch = 0;
+  std::int64_t max_val_batches = 0;
+};
+
+}  // namespace pgti::core

@@ -1,0 +1,253 @@
+#include "core/dist_trainer.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "core/trainer.h"
+#include "dist/ddp.h"
+#include "dist/dist_store.h"
+#include "optim/optim.h"
+#include "runtime/timer.h"
+
+namespace pgti::core {
+namespace {
+
+data::ShuffleMode train_shuffle_for(DistMode mode) {
+  switch (mode) {
+    case DistMode::kDistributedIndex:
+    case DistMode::kBaselineDdp:
+      return data::ShuffleMode::kGlobal;
+    case DistMode::kGeneralizedIndex:
+    case DistMode::kBaselineDdpBatchShuffle:
+      return data::ShuffleMode::kBatchLevel;
+  }
+  return data::ShuffleMode::kGlobal;
+}
+
+bool uses_store(DistMode mode) {
+  return mode == DistMode::kBaselineDdp || mode == DistMode::kBaselineDdpBatchShuffle;
+}
+
+}  // namespace
+
+DistResult DistTrainer::run() {
+  DistResult result;
+  result.world = cfg_.world;
+  auto& tracker = MemoryTracker::instance();
+
+  const data::DatasetSpec& spec = cfg_.spec;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, cfg_.seed);
+
+  tracker.reset_peak(kHostSpace);
+
+  dist::Cluster cluster(cfg_.world);
+  const std::int64_t s = spec.num_snapshots();
+  const data::SplitRanges splits = data::split_ranges(s);
+
+  // Shared pieces, built once (Dask would distribute them; memory-wise
+  // this favours the baseline, which the paper also observes at high
+  // worker counts).
+  WallTimer pre_timer;
+  std::optional<data::StandardDataset> shared_standard;
+  std::optional<dist::DistStore> store;
+  data::StandardScaler global_scaler;
+  if (uses_store(cfg_.mode)) {
+    shared_standard.emplace(raw, spec);
+    const std::int64_t snapshot_bytes =
+        2 * spec.horizon * spec.nodes * spec.features *
+        static_cast<std::int64_t>(sizeof(float));
+    store.emplace(s, snapshot_bytes, cfg_.world, cluster.network(),
+                  /*consolidate_requests=*/true);
+  } else if (cfg_.mode == DistMode::kGeneralizedIndex) {
+    Tensor stage1 = data::add_time_feature(raw, spec, kHostSpace);
+    global_scaler = data::fit_scaler(stage1, spec);
+  }
+  const double shared_pre_seconds = pre_timer.seconds();
+
+  // Per-epoch aggregates written by rank 0.
+  std::vector<EpochMetrics> curve(static_cast<std::size_t>(cfg_.epochs));
+  double local_pre_seconds_rank0 = 0.0;
+
+  cluster.run([&](dist::Communicator& comm) {
+    const int rank = comm.rank();
+    const int world = comm.world();
+
+    // ---- local data plane -------------------------------------------
+    WallTimer local_pre;
+    std::optional<data::IndexDataset> local_index;       // dist-index: full copy
+    std::optional<data::IndexDataset> part_train;        // generalized
+    std::optional<data::IndexDataset> part_val;          // generalized
+    std::unique_ptr<data::SnapshotSource> train_source;
+    std::unique_ptr<data::SnapshotSource> val_source;
+    std::int64_t train_lo = splits.train_begin, train_hi = splits.train_end;
+    std::int64_t val_lo = splits.val_begin, val_hi = splits.val_end;
+    data::SamplerOptions train_sampler{train_shuffle_for(cfg_.mode), rank, world,
+                                       cfg_.seed, spec.batch_size};
+    data::SamplerOptions val_sampler{data::ShuffleMode::kNone, rank, world, cfg_.seed,
+                                     spec.batch_size};
+
+    switch (cfg_.mode) {
+      case DistMode::kDistributedIndex: {
+        local_index.emplace(raw, spec);  // full local copy per worker
+        train_source = std::make_unique<data::IndexSource>(*local_index);
+        val_source = std::make_unique<data::IndexSource>(*local_index);
+        break;
+      }
+      case DistMode::kBaselineDdp:
+      case DistMode::kBaselineDdpBatchShuffle: {
+        train_source = std::make_unique<data::StandardSource>(*shared_standard);
+        val_source = std::make_unique<data::StandardSource>(*shared_standard);
+        break;
+      }
+      case DistMode::kGeneralizedIndex: {
+        // Contiguous train partition (plus window overlap) owned locally.
+        const std::int64_t n_train = splits.train_end - splits.train_begin;
+        const std::int64_t chunk = (n_train + world - 1) / world;
+        train_lo = std::min(splits.train_begin + chunk * rank, splits.train_end);
+        train_hi = std::min(train_lo + chunk, splits.train_end);
+        const std::int64_t entry_lo = train_lo;
+        const std::int64_t entry_len =
+            std::min(spec.entries, train_hi - 1 + 2 * spec.horizon) - entry_lo;
+        part_train.emplace(raw.slice(0, entry_lo, entry_len).clone(), spec, entry_lo,
+                           global_scaler, train_lo, train_hi);
+        // Validation shard.
+        const std::int64_t n_val = splits.val_end - splits.val_begin;
+        const std::int64_t vchunk = (n_val + world - 1) / world;
+        val_lo = std::min(splits.val_begin + vchunk * rank, splits.val_end);
+        val_hi = std::min(val_lo + vchunk, splits.val_end);
+        const std::int64_t ventry_lo = val_lo;
+        const std::int64_t ventry_len =
+            std::min(spec.entries, val_hi - 1 + 2 * spec.horizon) - ventry_lo;
+        part_val.emplace(raw.slice(0, ventry_lo, std::max<std::int64_t>(ventry_len, 0))
+                             .clone(),
+                         spec, ventry_lo, global_scaler, val_lo, val_hi);
+        train_source = std::make_unique<data::IndexSource>(*part_train);
+        val_source = std::make_unique<data::IndexSource>(*part_val);
+        // Partitioned data means each worker samples only its own
+        // range; the loader sees world=1 over LOCAL snapshot ids
+        // (IndexDataset::get maps them back to global windows).
+        train_sampler.rank = 0;
+        train_sampler.world = 1;
+        val_sampler.rank = 0;
+        val_sampler.world = 1;
+        train_lo = 0;
+        train_hi = part_train->num_snapshots();
+        val_lo = 0;
+        val_hi = part_val->num_snapshots();
+        break;
+      }
+    }
+    if (rank == 0) local_pre_seconds_rank0 = local_pre.seconds();
+
+    // ---- model replica -------------------------------------------------
+    ModelBundle bundle = make_model(cfg_.model, spec, net, cfg_.hidden_dim,
+                                    cfg_.diffusion_steps, /*num_layers=*/2, cfg_.seed);
+    std::vector<Variable> params = bundle.model->parameters();
+    dist::broadcast_parameters(comm, params, /*root=*/0);
+    if (rank == 0) result.model_parameters = bundle.model->parameter_count();
+    optim::Adam::Options adam_opt;
+    adam_opt.lr = cfg_.lr;
+    optim::Adam opt(params, adam_opt);
+    optim::LinearScalingSchedule schedule(cfg_.lr, world, cfg_.warmup_epochs);
+    dist::GradBucket bucket(params);
+
+    // ---- loaders ---------------------------------------------------------
+    data::LoaderOptions train_opt;
+    train_opt.batch_size = spec.batch_size;
+    train_opt.sampler = train_sampler;
+    train_opt.drop_last = true;
+    data::DataLoader train_loader(*train_source, train_opt, train_lo, train_hi);
+
+    data::LoaderOptions val_opt;
+    val_opt.batch_size = spec.batch_size;
+    val_opt.sampler = val_sampler;
+    val_opt.drop_last = false;
+    data::DataLoader val_loader(*val_source, val_opt, val_lo, val_hi);
+
+    // Every rank must issue the SAME number of gradient all-reduces per
+    // epoch or the collective deadlocks; ranks can own unequal shards
+    // (ceil-chunking, partitioned mode), so synchronize on the global
+    // minimum step count — the same contract PyTorch's
+    // DistributedSampler enforces by padding.
+    std::int64_t steps_per_epoch = train_loader.batches_per_epoch();
+    if (cfg_.max_batches_per_epoch > 0) {
+      steps_per_epoch = std::min(steps_per_epoch, cfg_.max_batches_per_epoch);
+    }
+    for (double other : comm.allgather(static_cast<double>(steps_per_epoch))) {
+      steps_per_epoch = std::min(steps_per_epoch, static_cast<std::int64_t>(other));
+    }
+
+    // ---- training --------------------------------------------------------
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+      if (cfg_.scale_lr) opt.set_lr(schedule.lr_for_epoch(epoch));
+      comm.barrier();
+      WallTimer epoch_timer;
+      train_loader.start_epoch(epoch);
+      data::Batch batch;
+      double mae_sum = 0.0;
+      std::int64_t batches = 0;
+      while (batches < steps_per_epoch && train_loader.next(batch)) {
+        if (store) cluster.charge_seconds(store->fetch_batch(rank, batch.indices));
+        std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
+        Variable loss = seq_loss(outputs, batch.y);
+        opt.zero_grad();
+        loss.backward();
+        bucket.allreduce_average(comm, params);
+        opt.step();
+        mae_sum += static_cast<double>(loss.value().item());
+        ++batches;
+      }
+
+      // Validation: each rank scores its shard; sums are all-reduced
+      // ("AllReduce operations to calculate validation accuracy", §5.3.1).
+      val_loader.start_epoch(0);
+      double val_sum = 0.0;
+      std::int64_t val_batches = 0;
+      while (val_loader.next(batch)) {
+        if (store) cluster.charge_seconds(store->fetch_batch(rank, batch.indices));
+        std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
+        val_sum += seq_mae(outputs, batch.y);
+        ++val_batches;
+        if (cfg_.max_val_batches > 0 && val_batches >= cfg_.max_val_batches) break;
+      }
+
+      const double g_train_sum = comm.allreduce_scalar_sum(mae_sum);
+      const double g_train_cnt = comm.allreduce_scalar_sum(static_cast<double>(batches));
+      const double g_val_sum = comm.allreduce_scalar_sum(val_sum);
+      const double g_val_cnt = comm.allreduce_scalar_sum(static_cast<double>(val_batches));
+
+      if (rank == 0) {
+        const double sigma = train_source->scaler().stddev;
+        EpochMetrics em;
+        em.epoch = epoch;
+        em.train_mae = g_train_cnt > 0 ? g_train_sum / g_train_cnt * sigma : 0.0;
+        em.val_mae = g_val_cnt > 0 ? g_val_sum / g_val_cnt * sigma : 0.0;
+        em.wall_seconds = epoch_timer.seconds();
+        curve[static_cast<std::size_t>(epoch)] = em;
+      }
+    }
+    comm.barrier();
+  });
+
+  result.curve = std::move(curve);
+  result.preprocess_seconds = shared_pre_seconds + local_pre_seconds_rank0;
+  result.best_val_mae = 1e30;
+  result.train_wall_seconds = 0.0;
+  for (const EpochMetrics& em : result.curve) {
+    result.train_wall_seconds += em.wall_seconds;
+    if (em.val_mae > 0.0) result.best_val_mae = std::min(result.best_val_mae, em.val_mae);
+  }
+  result.peak_host_bytes = tracker.peak(kHostSpace);
+  result.comm = cluster.stats();
+  if (store) {
+    result.store = store->stats();
+    result.modeled_fetch_seconds = result.store.modeled_seconds;
+  }
+  result.modeled_allreduce_seconds =
+      cluster.modeled_comm_seconds() - result.modeled_fetch_seconds;
+  return result;
+}
+
+}  // namespace pgti::core

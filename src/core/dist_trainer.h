@@ -1,0 +1,43 @@
+// Multi-worker PGT-I workflows (paper §4.2, §5.3, §5.4).
+//
+// DistTrainer runs W worker threads through a full DDP training loop
+// with REAL collectives (bit-exact gradient averaging across replicas)
+// and a real per-strategy data plane:
+//
+//  * kDistributedIndex   — every worker builds its own full
+//    IndexDataset copy (memory grows with W, as the paper reports) and
+//    samples a disjoint chunk of the same global permutation; zero
+//    data communication.
+//  * kBaselineDdp        — one materialized StandardDataset is
+//    "distributed" across workers (DistStore ownership map); every
+//    batch's remote snapshots are fetch-accounted, Dask-style
+//    batch-consolidated.
+//  * kGeneralizedIndex   — raw entries are partitioned (plus the
+//    2*horizon-1 boundary overlap); batch-level shuffling keeps every
+//    access local (paper §5.4).
+//  * kBaselineDdpBatchShuffle — the baseline with batch-level shuffle
+//    (paper Fig. 9's DDP bars).
+//
+// Network/PCIe time is modeled (NetworkModel); accuracy results are
+// real computation.  Runtime curves at paper scale come from
+// dist::ClusterModel, calibrated against these functional runs.
+#pragma once
+
+#include "core/config.h"
+#include "core/metrics.h"
+
+namespace pgti::core {
+
+class DistTrainer {
+ public:
+  explicit DistTrainer(DistConfig config) : cfg_(std::move(config)) {}
+
+  DistResult run();
+
+  const DistConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DistConfig cfg_;
+};
+
+}  // namespace pgti::core

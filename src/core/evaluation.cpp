@@ -1,0 +1,100 @@
+#include "core/evaluation.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pgti::core {
+
+double HorizonMetrics::overall_mae() const {
+  double acc = 0.0;
+  for (double v : mae) acc += v;
+  return mae.empty() ? 0.0 : acc / static_cast<double>(mae.size());
+}
+
+double HorizonMetrics::overall_rmse() const {
+  // RMSE of the union = sqrt(mean of per-step MSEs) for equal step sizes.
+  double acc = 0.0;
+  for (double v : rmse) acc += v * v;
+  return rmse.empty() ? 0.0 : std::sqrt(acc / static_cast<double>(rmse.size()));
+}
+
+HorizonMetrics evaluate_horizon(const nn::SeqModel& model,
+                                const data::SnapshotSource& source,
+                                std::int64_t range_begin, std::int64_t range_end,
+                                const EvalOptions& options) {
+  data::LoaderOptions lopt;
+  lopt.batch_size = options.batch_size;
+  lopt.sampler = data::SamplerOptions{data::ShuffleMode::kNone, 0, 1, 1,
+                                      options.batch_size};
+  lopt.drop_last = false;
+  lopt.device = options.device;
+  data::DataLoader loader(source, lopt, range_begin, range_end);
+  loader.start_epoch(0);
+
+  const data::StandardScaler& scaler = source.scaler();
+  const std::int64_t steps = model.output_steps(source.spec().horizon);
+  std::vector<double> abs_sum(static_cast<std::size_t>(steps), 0.0);
+  std::vector<double> sq_sum(static_cast<std::size_t>(steps), 0.0);
+  std::vector<double> pct_sum(static_cast<std::size_t>(steps), 0.0);
+  std::vector<std::int64_t> count(static_cast<std::size_t>(steps), 0);
+  std::vector<std::int64_t> pct_count(static_cast<std::size_t>(steps), 0);
+
+  HorizonMetrics out;
+  data::Batch batch;
+  std::int64_t batches = 0;
+  while (loader.next(batch)) {
+    const std::vector<Variable> preds = model.forward_seq(batch.x);
+    for (std::int64_t t = 0; t < steps; ++t) {
+      const Tensor p = preds[static_cast<std::size_t>(t)].value().contiguous();
+      const Tensor y = batch.y.select(1, t).contiguous();
+      const float* pp = p.data();
+      const float* py = y.data();
+      const auto ti = static_cast<std::size_t>(t);
+      for (std::int64_t i = 0; i < p.numel(); ++i) {
+        const double pred = scaler.inverse(pp[i]);
+        const double truth = scaler.inverse(py[i]);
+        const double err = std::fabs(pred - truth);
+        abs_sum[ti] += err;
+        sq_sum[ti] += err * err;
+        ++count[ti];
+        if (std::fabs(truth) >= options.mape_floor) {
+          pct_sum[ti] += err / std::fabs(truth);
+          ++pct_count[ti];
+        }
+      }
+    }
+    out.samples += batch.size;
+    ++batches;
+    if (options.max_batches > 0 && batches >= options.max_batches) break;
+  }
+
+  out.mae.resize(static_cast<std::size_t>(steps));
+  out.rmse.resize(static_cast<std::size_t>(steps));
+  out.mape.resize(static_cast<std::size_t>(steps));
+  for (std::size_t t = 0; t < static_cast<std::size_t>(steps); ++t) {
+    const double n = count[t] > 0 ? static_cast<double>(count[t]) : 1.0;
+    out.mae[t] = abs_sum[t] / n;
+    out.rmse[t] = std::sqrt(sq_sum[t] / n);
+    out.mape[t] = pct_count[t] > 0
+                      ? 100.0 * pct_sum[t] / static_cast<double>(pct_count[t])
+                      : 0.0;
+  }
+  return out;
+}
+
+std::string format_horizon_report(const HorizonMetrics& metrics,
+                                  double minutes_per_step) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  for (std::size_t t = 0; t < metrics.mae.size(); ++t) {
+    os << "  +" << static_cast<int>(minutes_per_step * static_cast<double>(t + 1))
+       << " min | MAE " << metrics.mae[t] << " | RMSE " << metrics.rmse[t]
+       << " | MAPE " << metrics.mape[t] << "%\n";
+  }
+  os << "  overall | MAE " << metrics.overall_mae() << " | RMSE "
+     << metrics.overall_rmse() << " (" << metrics.samples << " samples)\n";
+  return os.str();
+}
+
+}  // namespace pgti::core

@@ -1,0 +1,49 @@
+// Horizon-wise evaluation (the DCRNN-family reporting convention:
+// MAE / RMSE / MAPE at 15 / 30 / 60 minutes, i.e. per prediction step).
+//
+// The paper reports single MAE numbers; downstream users of a traffic
+// model almost always want the per-step breakdown, so the library
+// ships it as a first-class evaluator over any SnapshotSource split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/dcrnn.h"
+
+namespace pgti::core {
+
+/// Per-prediction-step error metrics in ORIGINAL units (the scaler's
+/// inverse is applied).  Vectors are indexed by step (0 = nearest).
+struct HorizonMetrics {
+  std::vector<double> mae;
+  std::vector<double> rmse;
+  std::vector<double> mape;  ///< mean absolute percentage error (%, valid targets only)
+  std::int64_t samples = 0;
+
+  double overall_mae() const;
+  double overall_rmse() const;
+};
+
+struct EvalOptions {
+  std::int64_t batch_size = 64;
+  std::int64_t max_batches = 0;  ///< 0 = whole split
+  SimDevice* device = nullptr;
+  /// Targets with |value| below this (original units) are excluded
+  /// from MAPE to avoid division blow-ups.
+  double mape_floor = 1.0;
+};
+
+/// Runs `model` over snapshots [range_begin, range_end) of `source`
+/// and accumulates per-step metrics.
+HorizonMetrics evaluate_horizon(const nn::SeqModel& model,
+                                const data::SnapshotSource& source,
+                                std::int64_t range_begin, std::int64_t range_end,
+                                const EvalOptions& options = {});
+
+/// Pretty multi-line report ("step 3: MAE 2.31 RMSE 4.80 MAPE 5.4%").
+std::string format_horizon_report(const HorizonMetrics& metrics,
+                                  double minutes_per_step = 5.0);
+
+}  // namespace pgti::core

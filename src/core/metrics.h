@@ -1,0 +1,62 @@
+// Experiment result records shared by trainers, benches, and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.h"
+#include "dist/comm.h"
+#include "dist/dist_store.h"
+
+namespace pgti::core {
+
+struct EpochMetrics {
+  int epoch = 0;
+  double train_mae = 0.0;  ///< original units (scaler-inverse applied)
+  double val_mae = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Single-worker workflow outcome.
+struct TrainResult {
+  std::vector<EpochMetrics> curve;
+  double preprocess_seconds = 0.0;
+  double train_seconds = 0.0;  ///< measured compute wall time
+  double modeled_transfer_seconds = 0.0;  ///< PCIe model (device runs)
+  double best_val_mae = 0.0;
+  std::size_t peak_host_bytes = 0;
+  std::size_t peak_device_bytes = 0;
+  /// Resident host bytes once preprocessing finished (the plateau the
+  /// paper's Fig. 2 curves settle at; excludes the transient stack
+  /// spike shared by all standard-pipeline variants).
+  std::size_t resident_host_bytes = 0;
+  TransferStats transfers;  ///< h2d/d2h ledger
+  std::int64_t model_parameters = 0;
+  std::int64_t train_samples = 0;
+  double final_test_mse = 0.0;  ///< populated when a test pass runs
+
+  double total_seconds() const { return preprocess_seconds + train_seconds; }
+  /// Workflow time with modeled interconnect time added (the quantity
+  /// compared across batching modes in Table 4).
+  double total_with_transfers() const {
+    return total_seconds() + modeled_transfer_seconds;
+  }
+};
+
+/// Multi-worker workflow outcome (rank-0 view; metrics are globally
+/// all-reduced).
+struct DistResult {
+  std::vector<EpochMetrics> curve;
+  double preprocess_seconds = 0.0;
+  double train_wall_seconds = 0.0;       ///< measured (oversubscribed threads)
+  double modeled_allreduce_seconds = 0.0;
+  double modeled_fetch_seconds = 0.0;
+  double best_val_mae = 0.0;
+  std::size_t peak_host_bytes = 0;
+  dist::CommStats comm;
+  dist::StoreStats store;
+  std::int64_t model_parameters = 0;
+  int world = 1;
+};
+
+}  // namespace pgti::core

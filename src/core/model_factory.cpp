@@ -1,0 +1,73 @@
+#include "core/model_factory.h"
+
+#include <stdexcept>
+
+namespace pgti::core {
+
+ModelBundle make_model(ModelKind kind, const data::DatasetSpec& spec,
+                       const SensorNetwork& net, std::int64_t hidden_dim,
+                       int diffusion_steps, int num_layers, std::uint64_t seed) {
+  ModelBundle bundle;
+  switch (kind) {
+    case ModelKind::kPgtDcrnn: {
+      bundle.supports = std::make_unique<nn::GraphSupports>(
+          nn::GraphSupports::from(dual_random_walk_supports(net.adjacency)));
+      nn::PgtDcrnnOptions opt;
+      opt.num_nodes = spec.nodes;
+      opt.input_dim = spec.features;
+      opt.hidden_dim = hidden_dim;
+      opt.output_dim = 1;
+      opt.max_diffusion_steps = diffusion_steps;
+      opt.seed = seed;
+      bundle.model = std::make_unique<nn::PGTDCRNN>(opt, *bundle.supports);
+      return bundle;
+    }
+    case ModelKind::kDcrnn: {
+      bundle.supports = std::make_unique<nn::GraphSupports>(
+          nn::GraphSupports::from(dual_random_walk_supports(net.adjacency)));
+      nn::DcrnnOptions opt;
+      opt.num_nodes = spec.nodes;
+      opt.input_dim = spec.features;
+      opt.hidden_dim = hidden_dim;
+      opt.output_dim = 1;
+      opt.horizon = spec.horizon;
+      opt.num_layers = num_layers;
+      opt.max_diffusion_steps = diffusion_steps;
+      opt.seed = seed;
+      bundle.model = std::make_unique<nn::DCRNN>(opt, *bundle.supports);
+      return bundle;
+    }
+    case ModelKind::kA3tgcn: {
+      std::vector<Csr> supports;
+      supports.push_back(sym_norm_adjacency(net.adjacency));
+      bundle.supports = std::make_unique<nn::GraphSupports>(
+          nn::GraphSupports::from(std::move(supports)));
+      nn::A3tgcnOptions opt;
+      opt.num_nodes = spec.nodes;
+      opt.input_dim = spec.features;
+      opt.hidden_dim = hidden_dim;
+      opt.attention_dim = std::max<std::int64_t>(8, hidden_dim / 2);
+      opt.horizon = spec.horizon;
+      opt.seed = seed;
+      bundle.model = std::make_unique<nn::A3TGCN>(opt, *bundle.supports);
+      return bundle;
+    }
+    case ModelKind::kStllm: {
+      bundle.supports = std::make_unique<nn::GraphSupports>();  // unused
+      nn::StllmOptions opt;
+      opt.num_nodes = spec.nodes;
+      opt.input_dim = spec.features;
+      opt.input_steps = spec.horizon;
+      opt.model_dim = hidden_dim;
+      opt.ffn_dim = 2 * hidden_dim;
+      opt.num_layers = num_layers;
+      opt.horizon = spec.horizon;
+      opt.seed = seed;
+      bundle.model = std::make_unique<nn::STLLM>(opt);
+      return bundle;
+    }
+  }
+  throw std::invalid_argument("make_model: unknown model kind");
+}
+
+}  // namespace pgti::core

@@ -1,0 +1,28 @@
+// Builds the model + graph supports for a workflow configuration.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "graph/spatial.h"
+#include "nn/a3tgcn.h"
+#include "nn/dcrnn.h"
+#include "nn/stllm.h"
+
+namespace pgti::core {
+
+/// A model together with the graph supports it references (the
+/// supports must outlive the model, so they travel together).
+struct ModelBundle {
+  std::unique_ptr<nn::GraphSupports> supports;
+  std::unique_ptr<nn::SeqModel> model;
+};
+
+/// Constructs the configured model for `spec`'s graph.  Deterministic
+/// in `seed`: two bundles built with identical arguments hold
+/// bit-identical parameters (DDP replicas rely on this).
+ModelBundle make_model(ModelKind kind, const data::DatasetSpec& spec,
+                       const SensorNetwork& net, std::int64_t hidden_dim,
+                       int diffusion_steps, int num_layers, std::uint64_t seed);
+
+}  // namespace pgti::core

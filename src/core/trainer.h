@@ -1,0 +1,44 @@
+// Single-worker PGT-I workflow: preprocess -> train -> validate.
+//
+// One Trainer run reproduces a cell of the paper's single-GPU
+// experiments: it generates the (synthetic) raw signal, preprocesses
+// it under the configured BatchingMode, trains the configured model,
+// and reports runtime, convergence, peak memory per space, and the
+// PCIe transfer ledger.  The index/standard modes differ ONLY in the
+// dataset representation — given the same seed they consume identical
+// batches, which is the paper's "identical accuracy" property and is
+// asserted in tests/trainer_test.cpp.
+#pragma once
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/model_factory.h"
+#include "data/synthetic.h"
+
+namespace pgti::core {
+
+/// Mean of the per-step MAE losses of a forward pass (the training
+/// objective; normalized units).
+Variable seq_loss(const std::vector<Variable>& outputs, const Tensor& y);
+
+/// MAE of a forward pass in normalized units (no tape needed).
+double seq_mae(const std::vector<Variable>& outputs, const Tensor& y);
+
+/// MSE of a forward pass in normalized units.
+double seq_mse(const std::vector<Variable>& outputs, const Tensor& y);
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : cfg_(std::move(config)) {}
+
+  /// Runs the full workflow.  Throws OutOfMemoryError when a memory
+  /// space limit is exceeded (paper Fig. 2's crash path).
+  TrainResult run();
+
+  const TrainConfig& config() const noexcept { return cfg_; }
+
+ private:
+  TrainConfig cfg_;
+};
+
+}  // namespace pgti::core

@@ -1,0 +1,179 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/rng.h"
+
+namespace pgti::data {
+
+std::vector<std::int64_t> sample_epoch(std::int64_t range_begin, std::int64_t range_end,
+                                       const SamplerOptions& options, int epoch) {
+  const std::int64_t n = range_end - range_begin;
+  if (n <= 0) return {};
+  if (options.world < 1 || options.rank < 0 || options.rank >= options.world) {
+    throw std::invalid_argument("sample_epoch: bad rank/world");
+  }
+
+  std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = range_begin + i;
+
+  const std::int64_t chunk = (n + options.world - 1) / options.world;
+  const std::int64_t lo = std::min<std::int64_t>(chunk * options.rank, n);
+  const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n);
+
+  switch (options.mode) {
+    case ShuffleMode::kNone: {
+      return {all.begin() + lo, all.begin() + hi};
+    }
+    case ShuffleMode::kGlobal: {
+      // Same seed on every rank -> identical permutation everywhere;
+      // each rank takes a disjoint chunk.  No communication needed.
+      Rng rng(options.seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(epoch));
+      rng.shuffle(all);
+      return {all.begin() + lo, all.begin() + hi};
+    }
+    case ShuffleMode::kLocalPartition: {
+      // Fixed partition; shuffle only inside it.
+      std::vector<std::int64_t> part(all.begin() + lo, all.begin() + hi);
+      Rng rng(options.seed * 0x85ebca6bULL + static_cast<std::uint64_t>(epoch) * 1315423911ULL +
+              static_cast<std::uint64_t>(options.rank + 1));
+      rng.shuffle(part);
+      return part;
+    }
+    case ShuffleMode::kBatchLevel: {
+      // Fixed partition; fixed batch contents; shuffled batch order.
+      std::vector<std::int64_t> part(all.begin() + lo, all.begin() + hi);
+      const std::int64_t b = std::max<std::int64_t>(1, options.batch_size);
+      const std::int64_t num_batches =
+          (static_cast<std::int64_t>(part.size()) + b - 1) / b;
+      std::vector<std::int64_t> batch_order(static_cast<std::size_t>(num_batches));
+      for (std::int64_t i = 0; i < num_batches; ++i) {
+        batch_order[static_cast<std::size_t>(i)] = i;
+      }
+      Rng rng(options.seed * 0xc2b2ae35ULL + static_cast<std::uint64_t>(epoch) * 2654435761ULL +
+              static_cast<std::uint64_t>(options.rank + 1));
+      rng.shuffle(batch_order);
+      std::vector<std::int64_t> out;
+      out.reserve(part.size());
+      for (std::int64_t bi : batch_order) {
+        const std::int64_t s = bi * b;
+        const std::int64_t e = std::min<std::int64_t>(s + b,
+                                                      static_cast<std::int64_t>(part.size()));
+        for (std::int64_t i = s; i < e; ++i) out.push_back(part[static_cast<std::size_t>(i)]);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("sample_epoch: unknown shuffle mode");
+}
+
+DataLoader::DataLoader(const SnapshotSource& source, const LoaderOptions& options,
+                       std::int64_t range_begin, std::int64_t range_end)
+    : source_(&source),
+      options_(options),
+      range_begin_(range_begin),
+      range_end_(range_end) {
+  if (range_begin < 0 || range_end > source.num_snapshots() || range_begin > range_end) {
+    throw std::out_of_range("DataLoader: bad snapshot range");
+  }
+}
+
+void DataLoader::start_epoch(int epoch) {
+  SamplerOptions s = options_.sampler;
+  s.batch_size = options_.batch_size;
+  order_ = sample_epoch(range_begin_, range_end_, s, epoch);
+  cursor_ = 0;
+}
+
+std::int64_t DataLoader::samples_per_epoch() const {
+  SamplerOptions s = options_.sampler;
+  s.batch_size = options_.batch_size;
+  // Chunk arithmetic only; no RNG draw needed.
+  const std::int64_t n = range_end_ - range_begin_;
+  const std::int64_t chunk = (n + s.world - 1) / s.world;
+  const std::int64_t lo = std::min<std::int64_t>(chunk * s.rank, n);
+  const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n);
+  return hi - lo;
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  const std::int64_t n = samples_per_epoch();
+  return options_.drop_last ? n / options_.batch_size
+                            : (n + options_.batch_size - 1) / options_.batch_size;
+}
+
+bool DataLoader::next(Batch& out) {
+  const std::int64_t remaining = static_cast<std::int64_t>(order_.size()) -
+                                 static_cast<std::int64_t>(cursor_);
+  if (remaining <= 0) return false;
+  const std::int64_t b = std::min<std::int64_t>(options_.batch_size, remaining);
+  if (options_.drop_last && b < options_.batch_size) return false;
+
+  const DatasetSpec& spec = source_->spec();
+  const std::int64_t h = spec.horizon;
+  const std::int64_t n = spec.nodes;
+  const std::int64_t f = spec.features;
+  const std::int64_t bmax = options_.batch_size;
+
+  const bool on_device = options_.device != nullptr;
+  const MemorySpaceId data_space = source_->space();
+  const MemorySpaceId compute_space =
+      on_device ? options_.device->space() : kHostSpace;
+
+  // Lazily allocate reusable buffers.
+  auto ensure = [&](Tensor& x, Tensor& y, MemorySpaceId space) {
+    if (!x.defined()) {
+      x = Tensor::empty({bmax, h, n, f}, space);
+      y = Tensor::empty({bmax, h, n, 1}, space);
+    }
+  };
+
+  // Choose the assembly target: directly into the compute-space buffer
+  // when source data is already there, otherwise stage on host.
+  const bool direct = data_space == compute_space;
+  Tensor* asm_x;
+  Tensor* asm_y;
+  if (direct) {
+    ensure(dev_x_, dev_y_, compute_space);
+    asm_x = &dev_x_;
+    asm_y = &dev_y_;
+  } else {
+    ensure(host_x_, host_y_, kHostSpace);
+    asm_x = &host_x_;
+    asm_y = &host_y_;
+  }
+
+  out.indices.clear();
+  out.indices.reserve(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t snapshot = order_[cursor_ + static_cast<std::size_t>(i)];
+    out.indices.push_back(snapshot);
+    const auto [xv, yv] = source_->get(snapshot);
+    asm_x->select(0, i).copy_from(xv);
+    // Target is the metric feature only.
+    asm_y->select(0, i).copy_from(yv.slice(-1, 0, 1));
+  }
+  cursor_ += static_cast<std::size_t>(b);
+
+  if (!direct && on_device) {
+    // Host-resident data, device compute: the staged batch crosses
+    // PCIe (this is the per-batch transfer GPU-index-batching removes).
+    ensure(dev_x_, dev_y_, compute_space);
+    Tensor hx = host_x_.slice(0, 0, b);
+    Tensor hy = host_y_.slice(0, 0, b);
+    Tensor dx = dev_x_.slice(0, 0, b);
+    Tensor dy = dev_y_.slice(0, 0, b);
+    options_.device->upload_into(hx, dx);
+    options_.device->upload_into(hy, dy);
+    out.x = dx;
+    out.y = dy;
+  } else {
+    out.x = asm_x->slice(0, 0, b);
+    out.y = asm_y->slice(0, 0, b);
+  }
+  out.size = b;
+  return true;
+}
+
+}  // namespace pgti::data

@@ -1,0 +1,156 @@
+// Batch assembly and shuffling strategies.
+//
+// The paper distinguishes three shuffles (§4.2, §5.4, Table 5):
+//  * global      — all workers draw the SAME epoch permutation of the
+//                  full training range (seeded identically) and take
+//                  disjoint contiguous chunks; with index-batching this
+//                  is communication-free because every worker holds the
+//                  whole (small) dataset.
+//  * local       — each worker shuffles only within its fixed partition.
+//  * batch-level — fixed partition, fixed batch contents; only the
+//                  ORDER of batches is shuffled (the generalized
+//                  larger-than-memory variant; improves locality).
+//
+// DataLoader stages snapshots into preallocated contiguous batch
+// buffers.  When the model computes on a simulated device and the data
+// lives on the host, every batch crosses PCIe (standard- and
+// CPU-index-batching); when the data is device-resident
+// (GPU-index-batching), assembly is device-local and the transfer
+// ledger stays at the single upfront upload — exactly the effect
+// measured in paper Table 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/index_dataset.h"
+#include "data/preprocess.h"
+#include "device/device.h"
+
+namespace pgti::data {
+
+/// Uniform view over the three dataset representations.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+  virtual std::pair<Tensor, Tensor> get(std::int64_t i) const = 0;
+  virtual std::int64_t num_snapshots() const = 0;
+  virtual MemorySpaceId space() const = 0;
+  virtual const StandardScaler& scaler() const = 0;
+  virtual const SplitRanges& splits() const = 0;
+  virtual const DatasetSpec& spec() const = 0;
+};
+
+class IndexSource final : public SnapshotSource {
+ public:
+  explicit IndexSource(const IndexDataset& d) : d_(&d) {}
+  std::pair<Tensor, Tensor> get(std::int64_t i) const override { return d_->get(i); }
+  std::int64_t num_snapshots() const override { return d_->num_snapshots(); }
+  MemorySpaceId space() const override { return d_->space(); }
+  const StandardScaler& scaler() const override { return d_->scaler(); }
+  const SplitRanges& splits() const override { return d_->splits(); }
+  const DatasetSpec& spec() const override { return d_->spec(); }
+
+ private:
+  const IndexDataset* d_;
+};
+
+class StandardSource final : public SnapshotSource {
+ public:
+  explicit StandardSource(const StandardDataset& d) : d_(&d) {}
+  std::pair<Tensor, Tensor> get(std::int64_t i) const override { return d_->get(i); }
+  std::int64_t num_snapshots() const override { return d_->num_snapshots(); }
+  MemorySpaceId space() const override { return d_->x().space(); }
+  const StandardScaler& scaler() const override { return d_->scaler(); }
+  const SplitRanges& splits() const override { return d_->splits(); }
+  const DatasetSpec& spec() const override { return d_->spec(); }
+
+ private:
+  const StandardDataset* d_;
+};
+
+class PaddedSource final : public SnapshotSource {
+ public:
+  explicit PaddedSource(const PaddedStandardDataset& d) : d_(&d) {}
+  std::pair<Tensor, Tensor> get(std::int64_t i) const override { return d_->get(i); }
+  std::int64_t num_snapshots() const override { return d_->num_snapshots(); }
+  MemorySpaceId space() const override { return d_->base().x().space(); }
+  const StandardScaler& scaler() const override { return d_->scaler(); }
+  const SplitRanges& splits() const override { return d_->splits(); }
+  const DatasetSpec& spec() const override { return d_->base().spec(); }
+
+ private:
+  const PaddedStandardDataset* d_;
+};
+
+enum class ShuffleMode { kNone, kGlobal, kLocalPartition, kBatchLevel };
+
+struct SamplerOptions {
+  ShuffleMode mode = ShuffleMode::kGlobal;
+  int rank = 0;
+  int world = 1;
+  std::uint64_t seed = 1;
+  std::int64_t batch_size = 64;  ///< used by kBatchLevel grouping
+};
+
+/// Snapshot indices (within [range_begin, range_end)) that `rank`
+/// processes in `epoch`, in processing order.  For kGlobal all ranks
+/// must pass the same seed; the permutation is identical everywhere
+/// and rank r takes the r-th contiguous chunk (communication-free
+/// global shuffling, paper §4.2).
+std::vector<std::int64_t> sample_epoch(std::int64_t range_begin, std::int64_t range_end,
+                                       const SamplerOptions& options, int epoch);
+
+/// One staged batch.  Tensors are views of the loader's reusable
+/// buffers, valid until the next call to next().
+struct Batch {
+  Tensor x;  ///< [b, horizon, N, F] in the compute space
+  Tensor y;  ///< [b, horizon, N, 1] metric targets in the compute space
+  std::int64_t size = 0;
+  /// Snapshot ids staged into this batch (distributed stores use these
+  /// to account remote fetches).
+  std::vector<std::int64_t> indices;
+};
+
+struct LoaderOptions {
+  std::int64_t batch_size = 64;
+  SamplerOptions sampler;
+  bool drop_last = true;
+  /// When set, the model computes on this device: batches are staged
+  /// there (incurring PCIe transfers unless the source data already
+  /// lives on the device).
+  SimDevice* device = nullptr;
+};
+
+class DataLoader {
+ public:
+  /// Iterates snapshots [range_begin, range_end) of `source` (one of
+  /// the split ranges).  `source` must outlive the loader.
+  DataLoader(const SnapshotSource& source, const LoaderOptions& options,
+             std::int64_t range_begin, std::int64_t range_end);
+
+  /// Draws this epoch's sample order.
+  void start_epoch(int epoch);
+
+  /// Stages the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  std::int64_t batches_per_epoch() const;
+  std::int64_t samples_per_epoch() const;
+
+ private:
+  void ensure_buffers(MemorySpaceId space, Tensor& x, Tensor& y) const;
+
+  const SnapshotSource* source_;
+  LoaderOptions options_;
+  std::int64_t range_begin_;
+  std::int64_t range_end_;
+  std::vector<std::int64_t> order_;
+  std::size_t cursor_ = 0;
+
+  // Reusable staging buffers (allocated lazily to the max batch size).
+  mutable Tensor host_x_, host_y_;   // host staging
+  mutable Tensor dev_x_, dev_y_;     // device-resident batch
+};
+
+}  // namespace pgti::data

@@ -1,0 +1,91 @@
+#include "data/dataset_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pgti::data {
+
+DatasetSpec DatasetSpec::scaled(double factor) const {
+  if (factor < 1.0) throw std::invalid_argument("DatasetSpec::scaled: factor >= 1");
+  DatasetSpec s = *this;
+  s.nodes = std::max<std::int64_t>(8, static_cast<std::int64_t>(
+                                          std::llround(static_cast<double>(nodes) / factor)));
+  s.entries = std::max<std::int64_t>(8 * horizon,
+                                     static_cast<std::int64_t>(std::llround(
+                                         static_cast<double>(entries) / factor)));
+  if (factor > 1.0) s.name = name + "-sim/" + std::to_string(static_cast<int>(factor));
+  return s;
+}
+
+std::vector<DatasetSpec> paper_catalog() {
+  std::vector<DatasetSpec> specs;
+  specs.push_back(DatasetSpec{"Chickenpox-Hungary", DatasetKind::kChickenpoxHungary,
+                              Domain::kEpidemiological,
+                              /*nodes=*/20, /*entries=*/522, /*raw_features=*/1,
+                              /*features=*/1, /*horizon=*/4, /*batch_size=*/4,
+                              /*steps_per_period=*/52});
+  specs.push_back(DatasetSpec{"Windmill-Large", DatasetKind::kWindmillLarge,
+                              Domain::kEnergy,
+                              /*nodes=*/319, /*entries=*/17472, /*raw_features=*/1,
+                              /*features=*/1, /*horizon=*/8, /*batch_size=*/64,
+                              /*steps_per_period=*/24});
+  specs.push_back(DatasetSpec{"METR-LA", DatasetKind::kMetrLa, Domain::kTraffic,
+                              /*nodes=*/207, /*entries=*/34272, /*raw_features=*/1,
+                              /*features=*/2, /*horizon=*/12, /*batch_size=*/64,
+                              /*steps_per_period=*/288});
+  specs.push_back(DatasetSpec{"PeMS-BAY", DatasetKind::kPemsBay, Domain::kTraffic,
+                              /*nodes=*/325, /*entries=*/52105, /*raw_features=*/1,
+                              /*features=*/2, /*horizon=*/12, /*batch_size=*/64,
+                              /*steps_per_period=*/288});
+  specs.push_back(DatasetSpec{"PeMS-All-LA", DatasetKind::kPemsAllLa, Domain::kTraffic,
+                              /*nodes=*/2716, /*entries=*/105120, /*raw_features=*/1,
+                              /*features=*/2, /*horizon=*/12, /*batch_size=*/32,
+                              /*steps_per_period=*/288});
+  specs.push_back(DatasetSpec{"PeMS", DatasetKind::kPems, Domain::kTraffic,
+                              /*nodes=*/11126, /*entries=*/105120, /*raw_features=*/1,
+                              /*features=*/2, /*horizon=*/12, /*batch_size=*/64,
+                              /*steps_per_period=*/288});
+  return specs;
+}
+
+DatasetSpec spec_for(DatasetKind kind) {
+  for (DatasetSpec& s : paper_catalog()) {
+    if (s.kind == kind) return s;
+  }
+  throw std::invalid_argument("spec_for: unknown dataset kind");
+}
+
+double raw_bytes(const DatasetSpec& spec, double b) {
+  return static_cast<double>(spec.entries) * static_cast<double>(spec.nodes) *
+         static_cast<double>(spec.raw_features) * b;
+}
+
+double stage1_bytes(const DatasetSpec& spec, double b) {
+  return static_cast<double>(spec.entries) * static_cast<double>(spec.nodes) *
+         static_cast<double>(spec.features) * b;
+}
+
+double stage2_bytes(const DatasetSpec& spec, double b) {
+  return static_cast<double>(spec.num_snapshots()) * static_cast<double>(spec.horizon) *
+         static_cast<double>(spec.nodes) * static_cast<double>(spec.features) * b;
+}
+
+double standard_preprocessed_bytes(const DatasetSpec& spec, double b) {
+  return 2.0 * stage2_bytes(spec, b);
+}
+
+double index_batching_bytes(const DatasetSpec& spec, double b) {
+  return stage1_bytes(spec, b) + static_cast<double>(spec.num_snapshots()) * b;
+}
+
+GrowthStages growth_stages(const DatasetSpec& spec, double b) {
+  GrowthStages g;
+  g.raw = raw_bytes(spec, b);
+  g.with_time_feature = stage1_bytes(spec, b);
+  g.after_swa = stage2_bytes(spec, b);
+  g.after_xy_split = standard_preprocessed_bytes(spec, b);
+  return g;
+}
+
+}  // namespace pgti::data

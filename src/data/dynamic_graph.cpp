@@ -1,0 +1,100 @@
+#include "data/dynamic_graph.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "data/synthetic.h"
+
+namespace pgti::data {
+
+DynamicGraphSignal generate_dynamic_graph_signal(const DatasetSpec& spec,
+                                                 std::uint64_t seed,
+                                                 int rewires_per_period) {
+  SensorNetwork net = network_for(spec, seed);
+  DynamicGraphSignal out;
+  out.signal = generate_signal(spec, net, seed);
+  out.graphs.reserve(static_cast<std::size_t>(spec.entries));
+
+  Rng rng(seed ^ 0xD1CEULL);
+  auto current = std::make_shared<const Csr>(net.adjacency);
+  for (std::int64_t t = 0; t < spec.entries; ++t) {
+    if (t > 0 && t % spec.steps_per_period == 0) {
+      // Rewire: drop some directed edges, add random new ones with a
+      // mid-strength weight (incident opens/closes road segments).
+      std::vector<CooEntry> entries;
+      const Csr& g = *current;
+      std::set<std::int64_t> dropped;
+      for (int k = 0; k < rewires_per_period && g.nnz() > 0; ++k) {
+        dropped.insert(static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(g.nnz()))));
+      }
+      std::int64_t flat = 0;
+      for (std::int64_t r = 0; r < g.rows(); ++r) {
+        for (std::int64_t e = g.row_ptr()[static_cast<std::size_t>(r)];
+             e < g.row_ptr()[static_cast<std::size_t>(r) + 1]; ++e, ++flat) {
+          if (dropped.count(flat) != 0 &&
+              g.col_idx()[static_cast<std::size_t>(e)] != r) {
+            continue;  // never drop self loops
+          }
+          entries.push_back(CooEntry{r, g.col_idx()[static_cast<std::size_t>(e)],
+                                     g.values()[static_cast<std::size_t>(e)]});
+        }
+      }
+      for (int k = 0; k < rewires_per_period; ++k) {
+        const auto a = static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(spec.nodes)));
+        const auto b = static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(spec.nodes)));
+        if (a != b) entries.push_back(CooEntry{a, b, 0.5f});
+      }
+      current = std::make_shared<const Csr>(
+          Csr::from_coo(spec.nodes, spec.nodes, std::move(entries)));
+    }
+    out.graphs.push_back(current);
+  }
+  return out;
+}
+
+DynamicIndexDataset::DynamicIndexDataset(DynamicGraphSignal series,
+                                         const DatasetSpec& spec)
+    : spec_(spec), graphs_(std::move(series.graphs)) {
+  if (static_cast<std::int64_t>(graphs_.size()) != spec.entries) {
+    throw std::invalid_argument("DynamicIndexDataset: one graph per entry required");
+  }
+  Tensor stage1 = add_time_feature(series.signal, spec, kHostSpace);
+  scaler_ = fit_scaler(stage1, spec);
+  data_ = std::move(stage1);
+  {
+    float* p = data_.data();
+    const std::int64_t f = data_.size(2);
+    for (std::int64_t i = 0, rows = data_.numel() / f; i < rows; ++i) {
+      p[i * f] = scaler_.transform(p[i * f]);
+    }
+  }
+  const std::int64_t s = spec.num_snapshots();
+  if (s <= 0) throw std::invalid_argument("DynamicIndexDataset: series too short");
+  starts_.reserve(static_cast<std::size_t>(s));
+  for (std::int64_t i = 0; i < s; ++i) starts_.push_back(i);
+  splits_ = split_ranges(s);
+}
+
+DynamicSnapshot DynamicIndexDataset::get(std::int64_t i) const {
+  if (i < 0 || i >= num_snapshots()) {
+    throw std::out_of_range("DynamicIndexDataset::get: out of range");
+  }
+  const std::int64_t start = starts_[static_cast<std::size_t>(i)];
+  const std::int64_t h = spec_.horizon;
+  DynamicSnapshot snap;
+  snap.x = data_.slice(0, start, h);
+  snap.y = data_.slice(0, start + h, h);
+  snap.graphs.assign(graphs_.begin() + start, graphs_.begin() + start + h);
+  return snap;
+}
+
+std::size_t DynamicIndexDataset::distinct_graphs() const {
+  std::set<const Csr*> unique;
+  for (const auto& g : graphs_) unique.insert(g.get());
+  return unique.size();
+}
+
+}  // namespace pgti::data

@@ -1,0 +1,72 @@
+// Dynamic graphs with temporal signal (paper §7 future work: "extend
+// PGT-I to support additional spatiotemporal data structures such as
+// dynamic graphs with temporal signal").
+//
+// PGT's DynamicGraphTemporalSignal pairs each time step with its own
+// edge set.  Index-batching applies unchanged: one copy of the node
+// signal, one vector of per-step graphs (stored ONCE, referenced by
+// every overlapping window), and snapshots reconstructed as views plus
+// a span of graph indices — standard preprocessing would replicate
+// both the signal slices and the graph lists into every window.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/index_dataset.h"
+#include "graph/spatial.h"
+
+namespace pgti::data {
+
+/// A spatiotemporal series whose topology evolves: graphs[t] is the
+/// adjacency in force at time step t.  Consecutive steps often share a
+/// graph; shared_ptr keeps storage deduplicated.
+struct DynamicGraphSignal {
+  Tensor signal;  ///< [T, N, F_raw]
+  std::vector<std::shared_ptr<const Csr>> graphs;  ///< size T
+};
+
+/// One reconstructed snapshot: zero-copy signal views plus the graphs
+/// active during the input window.
+struct DynamicSnapshot {
+  Tensor x;  ///< [horizon, N, F] view
+  Tensor y;  ///< [horizon, N, F] view
+  std::vector<std::shared_ptr<const Csr>> graphs;  ///< size horizon (input window)
+};
+
+/// Generates a dynamic-topology variant of `spec`: starts from the
+/// static sensor network and rewires `rewires_per_period` random edges
+/// once per steps_per_period (road closures / incidents).
+DynamicGraphSignal generate_dynamic_graph_signal(const DatasetSpec& spec,
+                                                 std::uint64_t seed,
+                                                 int rewires_per_period = 4);
+
+/// Index-batching over a dynamic graph signal.
+class DynamicIndexDataset {
+ public:
+  DynamicIndexDataset(DynamicGraphSignal series, const DatasetSpec& spec);
+
+  std::int64_t num_snapshots() const {
+    return static_cast<std::int64_t>(starts_.size());
+  }
+
+  /// Zero-copy reconstruction; the graph list aliases the shared
+  /// per-step graphs (no duplication).
+  DynamicSnapshot get(std::int64_t i) const;
+
+  const StandardScaler& scaler() const noexcept { return scaler_; }
+  const SplitRanges& splits() const noexcept { return splits_; }
+  const Tensor& data() const noexcept { return data_; }
+  /// Count of distinct graph objects held (tests assert deduplication).
+  std::size_t distinct_graphs() const;
+
+ private:
+  DatasetSpec spec_;
+  Tensor data_;  // standardized [T, N, F]
+  std::vector<std::shared_ptr<const Csr>> graphs_;
+  std::vector<std::int64_t> starts_;
+  StandardScaler scaler_;
+  SplitRanges splits_;
+};
+
+}  // namespace pgti::data

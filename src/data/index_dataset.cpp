@@ -1,0 +1,100 @@
+#include "data/index_dataset.h"
+
+#include <stdexcept>
+
+#include "runtime/thread_pool.h"
+
+namespace pgti::data {
+namespace {
+
+void normalize_metric(Tensor& t, const StandardScaler& sc, std::int64_t features) {
+  float* p = t.data();
+  const std::int64_t rows = t.numel() / features;
+  parallel_for(0, rows, 16384, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      p[i * features] = sc.transform(p[i * features]);
+    }
+  });
+}
+
+}  // namespace
+
+IndexDataset::IndexDataset(const Tensor& raw, const DatasetSpec& spec) : spec_(spec) {
+  Tensor stage1 = add_time_feature(raw, spec, kHostSpace);
+  scaler_ = fit_scaler(stage1, spec);
+  init_from_stage1(std::move(stage1), spec);
+}
+
+IndexDataset::IndexDataset(const Tensor& raw, const DatasetSpec& spec, SimDevice& device)
+    : spec_(spec) {
+  // Preprocessing happens on-device after a single upfront transfer:
+  // the raw series crosses PCIe once, then the time feature and the
+  // standardization are computed in device memory (paper §4.1,
+  // "GPU-index-batching ... consolidates CPU-to-GPU memory transfers
+  // to a single operation at the beginning of preprocessing").
+  Tensor raw_dev = device.upload(raw.contiguous());
+  Tensor stage1 = add_time_feature(raw_dev, spec, device.space());
+  scaler_ = fit_scaler(stage1, spec);
+  init_from_stage1(std::move(stage1), spec);
+}
+
+IndexDataset::IndexDataset(const Tensor& raw_partition, const DatasetSpec& spec,
+                           std::int64_t entry_begin, const StandardScaler& scaler,
+                           std::int64_t snapshot_begin, std::int64_t snapshot_end)
+    : spec_(spec), scaler_(scaler), entry_offset_(entry_begin) {
+  Tensor stage1 = add_time_feature(raw_partition, spec, kHostSpace);
+  // Time feature must reflect *global* time, not partition-local time;
+  // recompute it with the global offset.
+  if (spec.features >= 2) {
+    float* p = stage1.data();
+    const std::int64_t n = stage1.size(1);
+    const std::int64_t f = stage1.size(2);
+    for (std::int64_t t = 0; t < stage1.size(0); ++t) {
+      const float tod = static_cast<float>((t + entry_begin) % spec.steps_per_period) /
+                        static_cast<float>(spec.steps_per_period);
+      for (std::int64_t nn = 0; nn < n; ++nn) p[(t * n + nn) * f + 1] = tod;
+    }
+  }
+  data_ = std::move(stage1);
+  normalize_metric(data_, scaler_, data_.size(2));
+  starts_.reserve(static_cast<std::size_t>(snapshot_end - snapshot_begin));
+  for (std::int64_t s = snapshot_begin; s < snapshot_end; ++s) starts_.push_back(s);
+  splits_ = split_ranges(spec.num_snapshots());
+  track_index_array();
+}
+
+void IndexDataset::init_from_stage1(Tensor stage1, const DatasetSpec& spec) {
+  const std::int64_t s = spec.num_snapshots();
+  if (s <= 0) throw std::invalid_argument("IndexDataset: series too short for horizon");
+  data_ = std::move(stage1);
+  normalize_metric(data_, scaler_, data_.size(2));
+  starts_.reserve(static_cast<std::size_t>(s));
+  for (std::int64_t i = 0; i < s; ++i) starts_.push_back(i);
+  splits_ = split_ranges(s);
+  track_index_array();
+}
+
+void IndexDataset::track_index_array() {
+  tracked_index_bytes_ = starts_.size() * sizeof(std::int64_t);
+  MemoryTracker::instance().on_alloc(data_.space(), tracked_index_bytes_);
+}
+
+IndexDataset::~IndexDataset() {
+  if (tracked_index_bytes_ != 0 && data_.defined()) {
+    MemoryTracker::instance().on_free(data_.space(), tracked_index_bytes_);
+  }
+}
+
+std::pair<Tensor, Tensor> IndexDataset::get(std::int64_t i) const {
+  if (i < 0 || i >= num_snapshots()) {
+    throw std::out_of_range("IndexDataset::get: snapshot out of range");
+  }
+  const std::int64_t start = starts_[static_cast<std::size_t>(i)] - entry_offset_;
+  const std::int64_t h = spec_.horizon;
+  if (start < 0 || start + 2 * h > data_.size(0)) {
+    throw std::out_of_range("IndexDataset::get: snapshot not resident in this partition");
+  }
+  return {data_.slice(0, start, h), data_.slice(0, start + h, h)};
+}
+
+}  // namespace pgti::data

@@ -1,0 +1,104 @@
+#include "data/prefetch.h"
+
+namespace pgti::data {
+
+PrefetchLoader::PrefetchLoader(DataLoader& loader) : inner_(&loader) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+PrefetchLoader::~PrefetchLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void PrefetchLoader::deep_copy(const Batch& src, Batch& dst) {
+  if (!dst.x.defined() || dst.x.shape() != src.x.shape()) {
+    dst.x = Tensor::empty(src.x.shape(), src.x.space());
+    dst.y = Tensor::empty(src.y.shape(), src.y.space());
+  }
+  dst.x.copy_from(src.x);
+  dst.y.copy_from(src.y);
+  dst.size = src.size;
+  dst.indices = src.indices;
+}
+
+void PrefetchLoader::start_epoch(int epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Abort any in-flight fill (frees the producer if it is waiting on a
+  // slot the consumer abandoned) and wait for it to drain.
+  abort_ = true;
+  slot_full_[0] = slot_full_[1] = false;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return !fill_requested_ || stop_; });
+  if (stop_) return;
+  abort_ = false;
+  slot_full_[0] = slot_full_[1] = false;
+  produce_idx_ = consume_idx_ = 0;
+  in_use_idx_ = -1;
+  epoch_ = epoch;
+  epoch_done_ = false;
+  fill_requested_ = true;
+  cv_.notify_all();
+}
+
+bool PrefetchLoader::next(Batch& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Release the slot handed out by the previous call: only now may the
+  // producer overwrite it (the caller is done with those views).
+  if (in_use_idx_ >= 0) {
+    slot_full_[in_use_idx_] = false;
+    in_use_idx_ = -1;
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [this] {
+    return slot_full_[consume_idx_] || (epoch_done_ && !fill_requested_) || stop_;
+  });
+  if (!slot_full_[consume_idx_]) return false;
+  out.x = slots_[consume_idx_].x;
+  out.y = slots_[consume_idx_].y;
+  out.size = slots_[consume_idx_].size;
+  out.indices = slots_[consume_idx_].indices;
+  in_use_idx_ = consume_idx_;  // stays full until the next call
+  consume_idx_ ^= 1;
+  return true;
+}
+
+void PrefetchLoader::worker_loop() {
+  Batch staged;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return (fill_requested_ && !abort_) || stop_; });
+      if (stop_) return;
+    }
+    inner_->start_epoch(epoch_);
+    for (;;) {
+      const bool have = inner_->next(staged);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!have || abort_) {
+        epoch_done_ = true;
+        fill_requested_ = false;
+        cv_.notify_all();
+        break;
+      }
+      cv_.wait(lock, [this] { return !slot_full_[produce_idx_] || abort_ || stop_; });
+      if (stop_) return;
+      if (abort_) {
+        epoch_done_ = true;
+        fill_requested_ = false;
+        cv_.notify_all();
+        break;
+      }
+      deep_copy(staged, slots_[produce_idx_]);
+      slot_full_[produce_idx_] = true;
+      produce_idx_ ^= 1;
+      cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pgti::data

@@ -1,0 +1,56 @@
+// Background batch prefetching (paper §7 future work: "explore data
+// distribution strategies ... and implement prefetching").
+//
+// A PrefetchLoader drives an inner DataLoader on a worker thread and
+// double-buffers assembled batches, overlapping batch staging (and any
+// modeled PCIe/store traffic it triggers) with model compute.  The
+// batch sequence is identical to the inner loader's.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "data/dataloader.h"
+
+namespace pgti::data {
+
+class PrefetchLoader {
+ public:
+  /// Takes ownership semantics over loader's iteration: callers must
+  /// not call loader.next() directly while prefetching.
+  explicit PrefetchLoader(DataLoader& loader);
+  ~PrefetchLoader();
+
+  PrefetchLoader(const PrefetchLoader&) = delete;
+  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+
+  /// Starts (re)filling from the given epoch.
+  void start_epoch(int epoch);
+
+  /// Delivers the next prefetched batch; returns false at epoch end.
+  /// The returned tensors are deep copies owned by the PrefetchLoader
+  /// and stay valid until the next-but-one call (double buffered).
+  bool next(Batch& out);
+
+ private:
+  void worker_loop();
+  static void deep_copy(const Batch& src, Batch& dst);
+
+  DataLoader* inner_;
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Batch slots_[2];
+  bool slot_full_[2] = {false, false};
+  bool epoch_done_ = true;
+  bool fill_requested_ = false;
+  bool abort_ = false;
+  bool stop_ = false;
+  int produce_idx_ = 0;
+  int consume_idx_ = 0;
+  int in_use_idx_ = -1;  ///< slot handed to the caller, pinned until next()
+  int epoch_ = 0;
+};
+
+}  // namespace pgti::data

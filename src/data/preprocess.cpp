@@ -1,0 +1,157 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace pgti::data {
+
+SplitRanges split_ranges(std::int64_t num_snapshots) {
+  SplitRanges r;
+  r.train_begin = 0;
+  r.train_end = static_cast<std::int64_t>(std::llround(0.7 * static_cast<double>(num_snapshots)));
+  r.val_begin = r.train_end;
+  r.val_end = static_cast<std::int64_t>(std::llround(0.8 * static_cast<double>(num_snapshots)));
+  r.test_begin = r.val_end;
+  r.test_end = num_snapshots;
+  return r;
+}
+
+Tensor add_time_feature(const Tensor& raw, const DatasetSpec& spec, MemorySpaceId space) {
+  if (raw.dim() != 3 || raw.size(2) != 1) {
+    throw std::invalid_argument("add_time_feature: raw must be [T, N, 1]");
+  }
+  if (spec.features == 1) {
+    return raw.space() == space ? raw.clone() : raw.to(space);
+  }
+  const std::int64_t t_steps = raw.size(0);
+  const std::int64_t n = raw.size(1);
+  Tensor out = Tensor::empty({t_steps, n, spec.features}, space);
+  const Tensor rc = raw.contiguous();
+  const float* pr = rc.data();
+  float* po = out.data();
+  const std::int64_t f = spec.features;
+  parallel_for(0, t_steps, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const float tod = static_cast<float>(t % spec.steps_per_period) /
+                        static_cast<float>(spec.steps_per_period);
+      for (std::int64_t nn = 0; nn < n; ++nn) {
+        float* dst = po + (t * n + nn) * f;
+        dst[0] = pr[t * n + nn];
+        dst[1] = tod;
+        for (std::int64_t ff = 2; ff < f; ++ff) dst[ff] = 0.0f;
+      }
+    }
+  });
+  return out;
+}
+
+StandardScaler fit_scaler(const Tensor& stage1, const DatasetSpec& spec) {
+  const std::int64_t s = spec.num_snapshots();
+  const SplitRanges r = split_ranges(s);
+  // Raw entries covered by the training windows: [0, train_end + horizon).
+  const std::int64_t train_entries =
+      std::min<std::int64_t>(stage1.size(0), r.train_end + spec.horizon);
+  const std::int64_t n = stage1.size(1);
+  const std::int64_t f = stage1.size(2);
+  const float* p = stage1.contiguous().data();
+
+  double sum = 0.0, sumsq = 0.0;
+  const std::int64_t count = train_entries * n;
+  for (std::int64_t t = 0; t < train_entries; ++t) {
+    for (std::int64_t nn = 0; nn < n; ++nn) {
+      const double v = p[(t * n + nn) * f];  // metric feature only
+      sum += v;
+      sumsq += v * v;
+    }
+  }
+  StandardScaler sc;
+  sc.mean = sum / static_cast<double>(count);
+  const double var = sumsq / static_cast<double>(count) - sc.mean * sc.mean;
+  sc.stddev = std::sqrt(std::max(var, 1e-12));
+  return sc;
+}
+
+namespace {
+
+/// Applies the scaler to the metric feature (index 0) of a [.., F] tensor.
+void normalize_metric_feature(Tensor& t, const StandardScaler& sc, std::int64_t features) {
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  parallel_for(0, n / features, 16384, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      p[i * features] = sc.transform(p[i * features]);
+    }
+  });
+}
+
+}  // namespace
+
+StandardDataset::StandardDataset(const Tensor& raw, const DatasetSpec& spec,
+                                 MemorySpaceId space)
+    : spec_(spec) {
+  // Stage 1: append time feature.
+  Tensor stage1 = add_time_feature(raw, spec, space);
+  scaler_ = fit_scaler(stage1, spec);
+
+  const std::int64_t s = spec.num_snapshots();
+  if (s <= 0) throw std::invalid_argument("StandardDataset: series too short for horizon");
+  splits_ = split_ranges(s);
+  const std::int64_t h = spec.horizon;
+  const std::int64_t n = stage1.size(1);
+  const std::int64_t f = stage1.size(2);
+
+  // Stages 2+3, mirroring the reference implementation: collect every
+  // window as its own copy (the Python `x.append(data[window])` loop),
+  // then stack.  The windows list and the stacked array coexist, which
+  // is the transient 2x peak the paper measures.
+  {
+    std::vector<Tensor> x_windows;
+    std::vector<Tensor> y_windows;
+    x_windows.reserve(static_cast<std::size_t>(s));
+    y_windows.reserve(static_cast<std::size_t>(s));
+    for (std::int64_t i = 0; i < s; ++i) {
+      x_windows.push_back(stage1.slice(0, i, h).clone());
+      y_windows.push_back(stage1.slice(0, i + h, h).clone());
+    }
+    x_ = Tensor::empty({s, h, n, f}, space);
+    y_ = Tensor::empty({s, h, n, f}, space);
+    for (std::int64_t i = 0; i < s; ++i) {
+      x_.select(0, i).copy_from(x_windows[static_cast<std::size_t>(i)]);
+      y_.select(0, i).copy_from(y_windows[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // Standardize x and y with the training-range statistics.
+  normalize_metric_feature(x_, scaler_, f);
+  normalize_metric_feature(y_, scaler_, f);
+}
+
+std::pair<Tensor, Tensor> StandardDataset::get(std::int64_t i) const {
+  return {x_.select(0, i), y_.select(0, i)};
+}
+
+PaddedStandardDataset::PaddedStandardDataset(const Tensor& raw, const DatasetSpec& spec,
+                                             MemorySpaceId space)
+    : base_(raw, spec, space) {
+  const std::int64_t s = base_.num_snapshots();
+  const std::int64_t b = spec.batch_size;
+  const std::int64_t padded = (s + b - 1) / b * b;
+  const Tensor& x = base_.x();
+  const Tensor& y = base_.y();
+  padded_x_ = Tensor::empty({padded, x.size(1), x.size(2), x.size(3)}, space);
+  padded_y_ = Tensor::empty({padded, y.size(1), y.size(2), y.size(3)}, space);
+  for (std::int64_t i = 0; i < padded; ++i) {
+    const std::int64_t src = std::min(i, s - 1);  // repeat the last sample
+    padded_x_.select(0, i).copy_from(x.select(0, src));
+    padded_y_.select(0, i).copy_from(y.select(0, src));
+  }
+}
+
+std::pair<Tensor, Tensor> PaddedStandardDataset::get(std::int64_t i) const {
+  return {padded_x_.select(0, i), padded_y_.select(0, i)};
+}
+
+}  // namespace pgti::data

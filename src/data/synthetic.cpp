@@ -1,0 +1,210 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pgti::data {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Localized multiplicative shock (congestion event / outbreak):
+/// a set of (node, start, duration, magnitude) pulses smoothed both in
+/// time (triangular ramp) and space (one diffusion pass handled by the
+/// caller's smoothing).
+struct Shock {
+  std::int64_t node;
+  std::int64_t start;
+  std::int64_t duration;
+  float magnitude;
+};
+
+std::vector<Shock> make_shocks(const DatasetSpec& spec, Rng& rng, double rate,
+                               float magnitude_lo, float magnitude_hi) {
+  const auto count = static_cast<std::int64_t>(
+      rate * static_cast<double>(spec.entries) / static_cast<double>(spec.steps_per_period) *
+      static_cast<double>(spec.nodes) / 32.0);
+  std::vector<Shock> shocks;
+  shocks.reserve(static_cast<std::size_t>(std::max<std::int64_t>(count, 1)));
+  for (std::int64_t i = 0; i < std::max<std::int64_t>(count, 1); ++i) {
+    Shock s;
+    s.node = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(spec.nodes)));
+    s.start = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(spec.entries)));
+    s.duration = 4 + static_cast<std::int64_t>(rng.uniform_int(
+                         static_cast<std::uint64_t>(spec.steps_per_period / 4 + 1)));
+    s.magnitude = static_cast<float>(rng.uniform(magnitude_lo, magnitude_hi));
+    shocks.push_back(s);
+  }
+  return shocks;
+}
+
+// One spatial smoothing pass: signal <- (1-alpha)*signal + alpha * P signal,
+// applied per time step, where P is the random-walk transition matrix.
+void smooth_in_space(Tensor& data, const Csr& transition, float alpha) {
+  const std::int64_t t_steps = data.size(0);
+  for (std::int64_t t = 0; t < t_steps; ++t) {
+    Tensor frame = data.select(0, t).contiguous();  // [N, 1]
+    Tensor mixed = transition.spmm(frame);
+    float* pd = data.select(0, t).data();  // contiguous (leading slice)
+    const float* pf = frame.data();
+    const float* pm = mixed.data();
+    for (std::int64_t i = 0; i < frame.numel(); ++i) {
+      pd[i] = (1.0f - alpha) * pf[i] + alpha * pm[i];
+    }
+  }
+}
+
+Tensor generate_traffic(const DatasetSpec& spec, const SensorNetwork& net,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor data = Tensor::empty({spec.entries, spec.nodes, 1});
+  // Per-node characteristics.
+  std::vector<float> base(static_cast<std::size_t>(spec.nodes));
+  std::vector<float> phase(static_cast<std::size_t>(spec.nodes));
+  std::vector<float> amp(static_cast<std::size_t>(spec.nodes));
+  for (std::int64_t nn = 0; nn < spec.nodes; ++nn) {
+    base[static_cast<std::size_t>(nn)] = static_cast<float>(rng.uniform(55.0, 70.0));
+    phase[static_cast<std::size_t>(nn)] = static_cast<float>(rng.uniform(0.0, kTwoPi));
+    amp[static_cast<std::size_t>(nn)] = static_cast<float>(rng.uniform(6.0, 14.0));
+  }
+  const auto shocks = make_shocks(spec, rng, /*rate=*/3.0, 10.0f, 35.0f);
+
+  float* pd = data.data();
+  const double steps_per_day = static_cast<double>(spec.steps_per_period);
+  for (std::int64_t t = 0; t < spec.entries; ++t) {
+    const double tod = static_cast<double>(t % spec.steps_per_period) / steps_per_day;
+    const double dow = static_cast<double>((t / spec.steps_per_period) % 7) / 7.0;
+    // Rush-hour dips morning and evening; weekends lighter.
+    const double diurnal = std::sin(kTwoPi * tod) + 0.5 * std::sin(2.0 * kTwoPi * tod);
+    const double weekend = dow >= 5.0 / 7.0 ? 4.0 : 0.0;
+    for (std::int64_t nn = 0; nn < spec.nodes; ++nn) {
+      const auto ni = static_cast<std::size_t>(nn);
+      double v = base[ni] - amp[ni] * 0.5 *
+                     (diurnal * std::cos(phase[ni]) + std::sin(kTwoPi * tod + phase[ni])) +
+                 weekend + rng.normal(0.0, 1.5);
+      pd[(t * spec.nodes + nn)] = static_cast<float>(std::clamp(v, 3.0, 85.0));
+    }
+  }
+  // Congestion shocks with triangular temporal profile.
+  for (const Shock& s : shocks) {
+    const std::int64_t end = std::min(s.start + s.duration, spec.entries);
+    for (std::int64_t t = s.start; t < end; ++t) {
+      const float frac = static_cast<float>(t - s.start) / static_cast<float>(s.duration);
+      const float ramp = 1.0f - std::fabs(2.0f * frac - 1.0f);
+      float& v = pd[t * spec.nodes + s.node];
+      v = std::max(3.0f, v - s.magnitude * ramp);
+    }
+  }
+  smooth_in_space(data, net.adjacency.row_normalized(), 0.35f);
+  return data;
+}
+
+Tensor generate_epidemiological(const DatasetSpec& spec, const SensorNetwork& net,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor data = Tensor::empty({spec.entries, spec.nodes, 1});
+  std::vector<float> level(static_cast<std::size_t>(spec.nodes));
+  for (auto& l : level) l = static_cast<float>(rng.uniform(2.0, 20.0));
+  const auto shocks = make_shocks(spec, rng, /*rate=*/4.0, 8.0f, 40.0f);
+
+  float* pd = data.data();
+  for (std::int64_t t = 0; t < spec.entries; ++t) {
+    const double season =
+        1.0 + 0.6 * std::sin(kTwoPi * static_cast<double>(t % spec.steps_per_period) /
+                             static_cast<double>(spec.steps_per_period));
+    for (std::int64_t nn = 0; nn < spec.nodes; ++nn) {
+      const auto ni = static_cast<std::size_t>(nn);
+      // AR(1) around a seasonal mean with Poisson-like noise.
+      level[ni] = 0.85f * level[ni] +
+                  0.15f * static_cast<float>(10.0 * season) +
+                  static_cast<float>(rng.normal(0.0, 1.2));
+      pd[t * spec.nodes + nn] = std::max(0.0f, level[ni]);
+    }
+  }
+  for (const Shock& s : shocks) {  // outbreaks
+    const std::int64_t end = std::min(s.start + s.duration, spec.entries);
+    for (std::int64_t t = s.start; t < end; ++t) {
+      const float frac = static_cast<float>(t - s.start) / static_cast<float>(s.duration);
+      pd[t * spec.nodes + s.node] += s.magnitude * (1.0f - std::fabs(2.0f * frac - 1.0f));
+    }
+  }
+  smooth_in_space(data, net.adjacency.row_normalized(), 0.25f);
+  return data;
+}
+
+Tensor generate_energy(const DatasetSpec& spec, const SensorNetwork& net,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor data = Tensor::empty({spec.entries, spec.nodes, 1});
+  std::vector<float> wind(static_cast<std::size_t>(spec.nodes));
+  for (auto& w : wind) w = static_cast<float>(rng.uniform(0.2, 0.8));
+
+  float* pd = data.data();
+  for (std::int64_t t = 0; t < spec.entries; ++t) {
+    const double diurnal =
+        0.15 * std::sin(kTwoPi * static_cast<double>(t % spec.steps_per_period) /
+                        static_cast<double>(spec.steps_per_period));
+    for (std::int64_t nn = 0; nn < spec.nodes; ++nn) {
+      const auto ni = static_cast<std::size_t>(nn);
+      wind[ni] = std::clamp(0.9f * wind[ni] + static_cast<float>(rng.normal(0.05, 0.08)),
+                            0.0f, 1.2f);
+      pd[t * spec.nodes + nn] =
+          std::max(0.0f, wind[ni] + static_cast<float>(diurnal) +
+                             static_cast<float>(rng.normal(0.0, 0.03)));
+    }
+  }
+  smooth_in_space(data, net.adjacency.row_normalized(), 0.3f);
+  return data;
+}
+
+}  // namespace
+
+Tensor generate_signal(const DatasetSpec& spec, const SensorNetwork& net,
+                       std::uint64_t seed) {
+  switch (spec.domain) {
+    case Domain::kTraffic: return generate_traffic(spec, net, seed);
+    case Domain::kEpidemiological: return generate_epidemiological(spec, net, seed);
+    case Domain::kEnergy: return generate_energy(spec, net, seed);
+  }
+  throw std::invalid_argument("generate_signal: unknown domain");
+}
+
+SensorNetwork network_for(const DatasetSpec& spec, std::uint64_t seed) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = spec.nodes;
+  opt.k_neighbors = static_cast<int>(std::min<std::int64_t>(8, spec.nodes - 1));
+  opt.seed = seed;
+  return build_sensor_network(opt);
+}
+
+void inject_missing_data(Tensor& raw, double missing_fraction, std::int64_t mean_run,
+                         std::uint64_t seed) {
+  if (raw.dim() != 3) throw std::invalid_argument("inject_missing_data: raw [T, N, F]");
+  if (missing_fraction <= 0.0) return;
+  Rng rng(seed);
+  const std::int64_t t_steps = raw.size(0);
+  const std::int64_t n = raw.size(1);
+  const std::int64_t f = raw.size(2);
+  float* p = raw.data();
+  // Expected dropout runs per sensor so that runs * mean_run covers
+  // missing_fraction of the series.
+  const double runs_per_sensor =
+      missing_fraction * static_cast<double>(t_steps) / static_cast<double>(mean_run);
+  for (std::int64_t nn = 0; nn < n; ++nn) {
+    double budget = runs_per_sensor;
+    while (budget > 0.0) {
+      if (budget < 1.0 && rng.uniform() > budget) break;
+      budget -= 1.0;
+      const auto start = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(t_steps)));
+      const auto run = 1 + static_cast<std::int64_t>(rng.uniform_int(
+                               static_cast<std::uint64_t>(2 * mean_run)));
+      for (std::int64_t t = start; t < std::min(start + run, t_steps); ++t) {
+        for (std::int64_t ff = 0; ff < f; ++ff) p[(t * n + nn) * f + ff] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace pgti::data

@@ -1,0 +1,34 @@
+// Synthetic spatiotemporal signal generators.
+//
+// The paper evaluates on real sensor feeds (Caltrans PeMS traffic
+// speeds, Hungarian chickenpox counts, windmill power output).  Those
+// files are not available offline, so per DESIGN.md we generate
+// signals with the same shape and the statistical structure the models
+// rely on: diurnal/weekly periodicity, spatial correlation along graph
+// edges, localized shocks (congestion / outbreaks / weather fronts)
+// and sensor noise.  Generators are deterministic in the seed.
+#pragma once
+
+#include "data/dataset_spec.h"
+#include "graph/spatial.h"
+#include "tensor/tensor.h"
+
+namespace pgti::data {
+
+/// Generates a raw signal tensor [entries, nodes, 1] for `spec` whose
+/// spatial correlation follows `net`'s adjacency.
+Tensor generate_signal(const DatasetSpec& spec, const SensorNetwork& net,
+                       std::uint64_t seed);
+
+/// Builds a sensor network sized for `spec` (deterministic in seed).
+SensorNetwork network_for(const DatasetSpec& spec, std::uint64_t seed = 7);
+
+/// Zeroes out stretches of readings to mimic PeMS sensor dropouts
+/// (loop detectors go dark for hours).  `missing_fraction` is the
+/// expected fraction of zeroed entries; dropouts come in runs of
+/// `mean_run` consecutive steps per sensor.  Pair with
+/// ag::masked_mae_loss(null_value=0) during training.
+void inject_missing_data(Tensor& raw, double missing_fraction, std::int64_t mean_run,
+                         std::uint64_t seed);
+
+}  // namespace pgti::data

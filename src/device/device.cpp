@@ -1,0 +1,74 @@
+#include "device/device.h"
+
+namespace pgti {
+
+SimDevice::SimDevice(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)),
+      space_(MemoryTracker::instance().register_space(name_)) {
+  MemoryTracker::instance().set_limit(space_, capacity_bytes);
+}
+
+void SimDevice::set_capacity(std::size_t bytes) {
+  MemoryTracker::instance().set_limit(space_, bytes);
+}
+
+Tensor SimDevice::upload(const Tensor& t) {
+  Tensor out = t.to(space_);
+  record(/*h2d=*/true, out.numel() * static_cast<std::int64_t>(sizeof(float)));
+  return out;
+}
+
+Tensor SimDevice::download(const Tensor& t) {
+  Tensor out = t.to(kHostSpace);
+  record(/*h2d=*/false, out.numel() * static_cast<std::int64_t>(sizeof(float)));
+  return out;
+}
+
+void SimDevice::upload_into(const Tensor& src, Tensor& dst) {
+  dst.copy_from(src);
+  record(/*h2d=*/true, src.numel() * static_cast<std::int64_t>(sizeof(float)));
+}
+
+void SimDevice::record(bool h2d, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (h2d) {
+    ++stats_.h2d_count;
+    stats_.h2d_bytes += static_cast<std::uint64_t>(bytes);
+  } else {
+    ++stats_.d2h_count;
+    stats_.d2h_bytes += static_cast<std::uint64_t>(bytes);
+  }
+  stats_.modeled_seconds += pcie_.transfer_seconds(bytes);
+}
+
+TransferStats SimDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimDevice::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = TransferStats{};
+}
+
+DeviceManager& DeviceManager::instance() {
+  static DeviceManager mgr;
+  return mgr;
+}
+
+SimDevice& DeviceManager::gpu(int index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(gpus_.size()) <= index) {
+    const int i = static_cast<int>(gpus_.size());
+    gpus_.push_back(std::make_unique<SimDevice>("gpu" + std::to_string(i),
+                                                /*capacity=*/0));
+  }
+  return *gpus_[static_cast<std::size_t>(index)];
+}
+
+int DeviceManager::device_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(gpus_.size());
+}
+
+}  // namespace pgti

@@ -1,0 +1,97 @@
+// Simulated accelerator devices.
+//
+// This environment has no GPUs, but the paper's GPU experiments
+// (GPU-index-batching, Table 4 / Fig 6) measure *data placement and
+// movement*, not CUDA arithmetic: how much memory lives on the device,
+// and how many host<->device transfers the workflow performs.  A
+// "device" here is therefore (a) a tracked memory space with its own
+// capacity, plus (b) a TransferEngine that byte-counts and time-models
+// every crossing of the (simulated) PCIe bus.  Kernels execute on the
+// host regardless of which space a tensor lives in.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/memory_tracker.h"
+#include "runtime/timer.h"
+#include "tensor/tensor.h"
+
+namespace pgti {
+
+/// Bandwidth/latency model of the host<->device interconnect.
+/// Defaults approximate PCIe gen4 x16 (Polaris A100s).
+struct PcieModel {
+  double bandwidth_bytes_per_s = 16.0e9;
+  double latency_s = 10.0e-6;
+
+  double transfer_seconds(std::int64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// Cumulative transfer ledger for one device.
+struct TransferStats {
+  std::uint64_t h2d_count = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_count = 0;
+  std::uint64_t d2h_bytes = 0;
+  double modeled_seconds = 0.0;
+};
+
+/// One simulated accelerator: a named memory space + transfer ledger.
+class SimDevice {
+ public:
+  SimDevice(std::string name, std::size_t capacity_bytes);
+
+  const std::string& name() const noexcept { return name_; }
+  MemorySpaceId space() const noexcept { return space_; }
+
+  /// Sets device memory capacity (0 = unlimited), e.g. 40 GB for A100.
+  void set_capacity(std::size_t bytes);
+
+  /// Copies `t` to this device, charging the PCIe model.
+  Tensor upload(const Tensor& t);
+  /// Copies `t` (resident on this device) back to host memory.
+  Tensor download(const Tensor& t);
+  /// Copies host tensor `src` into pre-allocated device tensor `dst`
+  /// (same shape), charging the PCIe model.  Used by batch staging.
+  void upload_into(const Tensor& src, Tensor& dst);
+
+  TransferStats stats() const;
+  void reset_stats();
+
+  const PcieModel& pcie() const noexcept { return pcie_; }
+  void set_pcie(const PcieModel& model) { pcie_ = model; }
+
+ private:
+  void record(bool h2d, std::int64_t bytes);
+
+  std::string name_;
+  MemorySpaceId space_;
+  PcieModel pcie_;
+  mutable std::mutex mu_;
+  TransferStats stats_;
+};
+
+/// Registry of simulated devices ("gpu0", "gpu1", ...).  Devices are
+/// created on first use and persist for the process lifetime, matching
+/// how MemoryTracker spaces behave.
+class DeviceManager {
+ public:
+  static DeviceManager& instance();
+
+  /// Returns (creating if needed) simulated GPU `index`.
+  SimDevice& gpu(int index);
+
+  int device_count() const;
+
+ private:
+  DeviceManager() = default;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SimDevice>> gpus_;
+};
+
+}  // namespace pgti

@@ -1,0 +1,160 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/thread_pool.h"
+
+namespace pgti {
+
+Csr Csr::from_coo(std::int64_t rows, std::int64_t cols, std::vector<CooEntry> entries) {
+  for (const CooEntry& e : entries) {
+    if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols) {
+      throw std::out_of_range("Csr::from_coo: entry out of bounds");
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const CooEntry& a, const CooEntry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  Csr m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size();) {
+    std::size_t j = i;
+    float acc = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      acc += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(acc);
+    ++m.row_ptr_[static_cast<std::size_t>(entries[i].row) + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+Csr Csr::identity(std::int64_t n) {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) entries.push_back(CooEntry{i, i, 1.0f});
+  return from_coo(n, n, std::move(entries));
+}
+
+Csr Csr::transpose() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(nnz()));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      entries.push_back(CooEntry{col_idx_[static_cast<std::size_t>(k)], r,
+                                 values_[static_cast<std::size_t>(k)]});
+    }
+  }
+  return from_coo(cols_, rows_, std::move(entries));
+}
+
+std::vector<float> Csr::row_sums() const {
+  std::vector<float> sums(static_cast<std::size_t>(rows_), 0.0f);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      sums[static_cast<std::size_t>(r)] += values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return sums;
+}
+
+Csr Csr::row_normalized() const {
+  const std::vector<float> sums = row_sums();
+  Csr out = *this;
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const float s = sums[static_cast<std::size_t>(r)];
+    if (s == 0.0f) continue;
+    const float inv = 1.0f / s;
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      out.values_[static_cast<std::size_t>(k)] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor Csr::to_dense() const {
+  Tensor d = Tensor::zeros({rows_, cols_});
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      d.at({r, col_idx_[static_cast<std::size_t>(k)]}) =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+void Csr::spmm_into(const float* x, float* y, std::int64_t c) const {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float* yrow = y + r * c;
+    std::fill(yrow, yrow + c, 0.0f);
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<std::size_t>(k)];
+      const float* xrow = x + col_idx_[static_cast<std::size_t>(k)] * c;
+      for (std::int64_t j = 0; j < c; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+Tensor Csr::spmm(const Tensor& x) const {
+  if (x.dim() != 2 || x.size(0) != cols_) {
+    throw std::invalid_argument("Csr::spmm: x must be [cols, C]");
+  }
+  const Tensor xc = x.contiguous();
+  Tensor y = Tensor::empty({rows_, x.size(1)}, x.space());
+  const std::int64_t c = x.size(1);
+  const float* px = xc.data();
+  float* py = y.data();
+  // Parallelize over row blocks: rows are independent.
+  parallel_for(0, rows_, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      float* yrow = py + r * c;
+      std::fill(yrow, yrow + c, 0.0f);
+      for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+        const float v = values_[static_cast<std::size_t>(k)];
+        const float* xrow = px + col_idx_[static_cast<std::size_t>(k)] * c;
+        for (std::int64_t j = 0; j < c; ++j) yrow[j] += v * xrow[j];
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Csr::spmm_batched(const Tensor& x) const {
+  if (x.dim() != 3 || x.size(1) != cols_) {
+    throw std::invalid_argument("Csr::spmm_batched: x must be [B, cols, C]");
+  }
+  const Tensor xc = x.contiguous();
+  const std::int64_t b = x.size(0);
+  const std::int64_t c = x.size(2);
+  Tensor y = Tensor::empty({b, rows_, c}, x.space());
+  const float* px = xc.data();
+  float* py = y.data();
+  const std::int64_t in_stride = cols_ * c;
+  const std::int64_t out_stride = rows_ * c;
+  parallel_for(0, b, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      spmm_into(px + i * in_stride, py + i * out_stride, c);
+    }
+  });
+  return y;
+}
+
+}  // namespace pgti

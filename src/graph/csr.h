@@ -1,0 +1,70 @@
+// Compressed-sparse-row matrices and sparse-dense products.
+//
+// ST-GNN spatial layers are built on SpMM with graph transition
+// matrices (DCRNN's dual random-walk diffusion, TGCN's symmetric
+// normalized adjacency).  Row-major CSR with threaded SpMM over rows
+// (2-D operands) or over batch items (3-D operands).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgti {
+
+/// One (row, col, value) sparse entry.
+struct CooEntry {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  float value = 0.0f;
+};
+
+/// Immutable CSR sparse matrix.
+class Csr {
+ public:
+  Csr() = default;
+  /// Builds from COO entries (duplicates are summed).
+  static Csr from_coo(std::int64_t rows, std::int64_t cols,
+                      std::vector<CooEntry> entries);
+  /// Identity matrix of size n.
+  static Csr identity(std::int64_t n);
+
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  std::int64_t nnz() const noexcept { return static_cast<std::int64_t>(col_idx_.size()); }
+
+  const std::vector<std::int64_t>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<std::int64_t>& col_idx() const noexcept { return col_idx_; }
+  const std::vector<float>& values() const noexcept { return values_; }
+
+  /// A^T as CSR.
+  Csr transpose() const;
+
+  /// D^{-1} A: rows scaled to sum to 1 (random-walk transition matrix).
+  /// Zero rows stay zero.
+  Csr row_normalized() const;
+
+  /// Row sums as a dense vector of length rows().
+  std::vector<float> row_sums() const;
+
+  /// Dense copy (tests / small graphs only).
+  Tensor to_dense() const;
+
+  /// Y = A * X for X [cols, C] -> Y [rows, C].
+  Tensor spmm(const Tensor& x) const;
+
+  /// Batched: X [B, cols, C] -> Y [B, rows, C], parallel over B.
+  Tensor spmm_batched(const Tensor& x) const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int64_t> col_idx_;
+  std::vector<float> values_;
+
+  void spmm_into(const float* x, float* y, std::int64_t c) const;
+};
+
+}  // namespace pgti

@@ -1,0 +1,84 @@
+#include "graph/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgti {
+
+SensorNetwork build_sensor_network(const SensorNetworkOptions& options) {
+  SensorNetwork net;
+  const std::int64_t n = options.num_nodes;
+  Rng rng(options.seed);
+  net.x.resize(static_cast<std::size_t>(n));
+  net.y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    net.x[static_cast<std::size_t>(i)] = static_cast<float>(rng.uniform());
+    net.y[static_cast<std::size_t>(i)] = static_cast<float>(rng.uniform());
+  }
+
+  const float sigma2 = options.kernel_sigma * options.kernel_sigma;
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(options.k_neighbors + 1));
+
+  std::vector<std::pair<float, std::int64_t>> dists(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float dx = net.x[static_cast<std::size_t>(i)] - net.x[static_cast<std::size_t>(j)];
+      const float dy = net.y[static_cast<std::size_t>(i)] - net.y[static_cast<std::size_t>(j)];
+      dists[static_cast<std::size_t>(j)] = {dx * dx + dy * dy, j};
+    }
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(options.k_neighbors) + 1, static_cast<std::size_t>(n));
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                      dists.end());
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const auto [d2, j] = dists[kk];
+      const float w = std::exp(-d2 / sigma2);
+      if (w < options.weight_threshold) continue;
+      entries.push_back(CooEntry{i, j, w});
+    }
+  }
+  net.adjacency = Csr::from_coo(n, n, std::move(entries));
+  return net;
+}
+
+std::vector<Csr> dual_random_walk_supports(const Csr& adjacency) {
+  std::vector<Csr> supports;
+  supports.push_back(adjacency.row_normalized());
+  supports.push_back(adjacency.transpose().row_normalized());
+  return supports;
+}
+
+Csr sym_norm_adjacency(const Csr& adjacency) {
+  // W + I
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(adjacency.nnz() + adjacency.rows()));
+  for (std::int64_t r = 0; r < adjacency.rows(); ++r) {
+    for (std::int64_t k = adjacency.row_ptr()[static_cast<std::size_t>(r)];
+         k < adjacency.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      entries.push_back(CooEntry{r, adjacency.col_idx()[static_cast<std::size_t>(k)],
+                                 adjacency.values()[static_cast<std::size_t>(k)]});
+    }
+    entries.push_back(CooEntry{r, r, 1.0f});
+  }
+  Csr wi = Csr::from_coo(adjacency.rows(), adjacency.cols(), std::move(entries));
+
+  const std::vector<float> deg = wi.row_sums();
+  std::vector<CooEntry> norm_entries;
+  norm_entries.reserve(static_cast<std::size_t>(wi.nnz()));
+  for (std::int64_t r = 0; r < wi.rows(); ++r) {
+    const float dr = deg[static_cast<std::size_t>(r)];
+    for (std::int64_t k = wi.row_ptr()[static_cast<std::size_t>(r)];
+         k < wi.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int64_t c = wi.col_idx()[static_cast<std::size_t>(k)];
+      const float dc = deg[static_cast<std::size_t>(c)];
+      const float denom = std::sqrt(std::max(dr, 1e-12f)) * std::sqrt(std::max(dc, 1e-12f));
+      norm_entries.push_back(
+          CooEntry{r, c, wi.values()[static_cast<std::size_t>(k)] / denom});
+    }
+  }
+  return Csr::from_coo(wi.rows(), wi.cols(), std::move(norm_entries));
+}
+
+}  // namespace pgti

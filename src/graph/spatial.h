@@ -1,0 +1,47 @@
+// Sensor-network construction and graph transforms.
+//
+// The paper encodes spatial structure by loading sensor coordinates and
+// building a thresholded Gaussian-kernel weighted adjacency matrix
+// (paper §2.1; DCRNN, Li et al. 2018).  Without access to the Caltrans
+// metadata we synthesize a random geometric sensor layout — the
+// standard substitution, since all experiments depend only on graph
+// size/sparsity, not on real road topology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "runtime/rng.h"
+
+namespace pgti {
+
+/// A synthetic sensor deployment: positions + weighted adjacency.
+struct SensorNetwork {
+  std::vector<float> x;  ///< sensor x coordinates in [0,1)
+  std::vector<float> y;  ///< sensor y coordinates in [0,1)
+  Csr adjacency;         ///< thresholded Gaussian-kernel weights (directed)
+};
+
+/// Options for building a synthetic sensor network.
+struct SensorNetworkOptions {
+  std::int64_t num_nodes = 207;
+  int k_neighbors = 8;        ///< edges to nearest neighbours (directed)
+  float kernel_sigma = 0.1f;  ///< Gaussian kernel bandwidth (same units as coords)
+  float weight_threshold = 0.01f;  ///< drop edges with w < threshold
+  std::uint64_t seed = 7;
+};
+
+/// Builds a random-geometric sensor network with Gaussian-kernel edge
+/// weights w_ij = exp(-d_ij^2 / sigma^2), keeping each node's k nearest
+/// neighbours plus a self-loop.
+SensorNetwork build_sensor_network(const SensorNetworkOptions& options);
+
+/// DCRNN dual random-walk diffusion supports: {D_O^{-1} W, D_I^{-1} W^T}.
+/// The k=0 (identity) term is handled inside DiffusionConv.
+std::vector<Csr> dual_random_walk_supports(const Csr& adjacency);
+
+/// TGCN/GCN support: D^{-1/2} (W + I) D^{-1/2}.
+Csr sym_norm_adjacency(const Csr& adjacency);
+
+}  // namespace pgti

@@ -1,0 +1,65 @@
+#include "nn/a3tgcn.h"
+
+#include <stdexcept>
+
+namespace pgti::nn {
+
+A3TGCN::A3TGCN(const A3tgcnOptions& options, const GraphSupports& supports)
+    : options_(options),
+      rng_(options.seed),
+      cell_(options.input_dim, options.hidden_dim, supports, /*max_diffusion_steps=*/1,
+            rng_),
+      att_score_(options.hidden_dim, options.attention_dim, rng_),
+      att_vec_(options.attention_dim, 1, rng_),
+      head_(options.hidden_dim, options.horizon, rng_) {
+  register_module("cell", &cell_);
+  register_module("att_score", &att_score_);
+  register_module("att_vec", &att_vec_);
+  register_module("head", &head_);
+}
+
+std::vector<Variable> A3TGCN::forward_seq(const Tensor& x) const {
+  if (x.dim() != 4 || x.size(3) != options_.input_dim) {
+    throw std::invalid_argument("A3TGCN: expected input [B, T, N, F]");
+  }
+  const std::int64_t b = x.size(0);
+  const std::int64_t t_steps = x.size(1);
+  const std::int64_t n = x.size(2);
+  const std::int64_t h_dim = options_.hidden_dim;
+
+  // Stepwise TGCN encoding; keep every hidden state for attention.
+  Variable h(Tensor::zeros({b, n, h_dim}, x.space()), false);
+  std::vector<Variable> hidden_flat;  // each [B*N, H]
+  std::vector<Variable> scores;       // each [B*N, 1]
+  hidden_flat.reserve(static_cast<std::size_t>(t_steps));
+  for (std::int64_t t = 0; t < t_steps; ++t) {
+    Variable xt(x.select(1, t).contiguous(), false);
+    h = cell_.forward(xt, h);
+    Variable flat = ag::reshape(h, {b * n, h_dim});
+    hidden_flat.push_back(flat);
+    scores.push_back(att_vec_.forward(ag::tanh(att_score_.forward(flat))));
+  }
+
+  // Global temporal attention: alpha = softmax_t(score_t).
+  Variable score_mat = ag::concat_lastdim(scores);        // [B*N, T]
+  Variable alpha = ag::softmax_lastdim(score_mat);        // [B*N, T]
+  last_attention_ = alpha.value().clone();
+
+  Variable context;  // sum_t alpha[:, t] * h_t  -> [B*N, H]
+  for (std::int64_t t = 0; t < t_steps; ++t) {
+    Variable weighted =
+        ag::mul_colvec(hidden_flat[static_cast<std::size_t>(t)],
+                       ag::slice_lastdim(alpha, t, 1));
+    context = t == 0 ? weighted : ag::add(context, weighted);
+  }
+
+  Variable preds = head_.forward(context);  // [B*N, horizon]
+  std::vector<Variable> outputs;
+  outputs.reserve(static_cast<std::size_t>(options_.horizon));
+  for (std::int64_t t = 0; t < options_.horizon; ++t) {
+    outputs.push_back(ag::reshape(ag::slice_lastdim(preds, t, 1), {b, n, 1}));
+  }
+  return outputs;
+}
+
+}  // namespace pgti::nn

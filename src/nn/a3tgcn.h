@@ -1,0 +1,50 @@
+// A3T-GCN: Attention Temporal Graph Convolutional Network (Zhu et al.
+// 2020), used by the paper's broader-applicability study (§5.5,
+// Table 6).  A TGCN cell (GCN-gated GRU over the symmetric normalized
+// adjacency) runs stepwise over the input window; a global temporal
+// attention layer pools the hidden-state sequence into a context that
+// a linear head maps to the prediction horizon.
+#pragma once
+
+#include <vector>
+
+#include "nn/dcrnn.h"
+
+namespace pgti::nn {
+
+struct A3tgcnOptions {
+  std::int64_t num_nodes = 0;
+  std::int64_t input_dim = 2;
+  std::int64_t hidden_dim = 32;
+  std::int64_t attention_dim = 16;
+  std::int64_t horizon = 12;  ///< prediction steps
+  std::uint64_t seed = 42;
+};
+
+class A3TGCN : public SeqModel {
+ public:
+  /// `supports` should hold the single symmetric-normalized adjacency
+  /// (sym_norm_adjacency); the cell then reduces to a TGCN cell.
+  A3TGCN(const A3tgcnOptions& options, const GraphSupports& supports);
+
+  std::vector<Variable> forward_seq(const Tensor& x) const override;
+  std::int64_t output_dim() const override { return 1; }
+  std::int64_t output_steps(std::int64_t /*input_steps*/) const override {
+    return options_.horizon;
+  }
+
+  /// Attention weights from the most recent forward (for tests:
+  /// each row sums to 1).
+  const Tensor& last_attention() const noexcept { return last_attention_; }
+
+ private:
+  A3tgcnOptions options_;
+  Rng rng_;
+  DCGRUCell cell_;     // K=1 over sym-norm adjacency == TGCN cell
+  Linear att_score_;   // H -> attention_dim
+  Linear att_vec_;     // attention_dim -> 1
+  Linear head_;        // H -> horizon
+  mutable Tensor last_attention_;
+};
+
+}  // namespace pgti::nn

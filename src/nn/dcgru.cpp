@@ -1,0 +1,37 @@
+#include "nn/dcgru.h"
+
+namespace pgti::nn {
+
+DCGRUCell::DCGRUCell(std::int64_t input_dim, std::int64_t hidden_dim,
+                     const GraphSupports& supports, int max_diffusion_steps, Rng& rng)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      gates_(input_dim + hidden_dim, 2 * hidden_dim, supports, max_diffusion_steps, rng),
+      candidate_(input_dim + hidden_dim, hidden_dim, supports, max_diffusion_steps, rng) {
+  register_module("gates", &gates_);
+  register_module("candidate", &candidate_);
+}
+
+Variable DCGRUCell::forward(const Variable& x, const Variable& h) const {
+  Variable xh = ag::concat_lastdim({x, h});
+  Variable ru = ag::sigmoid(gates_.forward(xh));
+  Variable r = ag::slice_lastdim(ru, 0, hidden_);
+  Variable u = ag::slice_lastdim(ru, hidden_, hidden_);
+  Variable xc = ag::concat_lastdim({x, ag::mul(r, h)});
+  Variable c = ag::tanh(candidate_.forward(xc));
+  // h' = u*h + (1-u)*c  ==  c + u*(h - c)
+  return ag::add(c, ag::mul(u, ag::sub(h, c)));
+}
+
+Variable DCGRUCell::forward(const Variable& x, const Variable& h,
+                            const GraphSupports& supports) const {
+  Variable xh = ag::concat_lastdim({x, h});
+  Variable ru = ag::sigmoid(gates_.forward(xh, supports));
+  Variable r = ag::slice_lastdim(ru, 0, hidden_);
+  Variable u = ag::slice_lastdim(ru, hidden_, hidden_);
+  Variable xc = ag::concat_lastdim({x, ag::mul(r, h)});
+  Variable c = ag::tanh(candidate_.forward(xc, supports));
+  return ag::add(c, ag::mul(u, ag::sub(h, c)));
+}
+
+}  // namespace pgti::nn

@@ -1,0 +1,18 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cmath>
+
+#include "runtime/rng.h"
+#include "tensor/tensor.h"
+
+namespace pgti::nn {
+
+/// Glorot/Xavier uniform: U(-s, s), s = sqrt(6 / (fan_in + fan_out)).
+inline Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng,
+                             MemorySpaceId space = kHostSpace) {
+  const float s = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform({fan_in, fan_out}, rng, -s, s, space);
+}
+
+}  // namespace pgti::nn

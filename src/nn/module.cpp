@@ -1,0 +1,54 @@
+#include "nn/module.h"
+
+namespace pgti::nn {
+
+Variable Module::register_parameter(std::string name, Tensor init) {
+  Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::register_module(std::string name, Module* child) {
+  children_.emplace_back(std::move(name), child);
+}
+
+std::vector<Variable> Module::parameters() const {
+  std::vector<Variable> out;
+  for (const auto& [name, p] : params_) out.push_back(p);
+  for (const auto& [name, child] : children_) {
+    for (Variable& v : child->parameters()) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Variable>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [name, child] : children_) {
+    for (auto& [sub, v] : child->named_parameters()) {
+      out.emplace_back(name + "." + sub, v);
+    }
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Variable& p : parameters()) p.zero_grad();
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const Variable& p : parameters()) n += p.value().numel();
+  return n;
+}
+
+void Module::to_space(MemorySpaceId space) {
+  for (Variable p : parameters()) {
+    if (p.value().space() != space) {
+      p.mutable_value() = p.value().to(space);
+      if (p.has_grad()) p.grad() = Tensor::zeros(p.value().shape(), space);
+    }
+  }
+}
+
+}  // namespace pgti::nn

@@ -1,0 +1,54 @@
+// Neural-network module base: parameter registration and traversal.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pgti::nn {
+
+/// Base class for layers/models.  Subclasses register parameters (and
+/// nested modules) in their constructors; parameters() flattens the
+/// tree in registration order, which fixes the layout used by DDP
+/// gradient buckets and optimizer state.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters (depth-first, registration order).
+  std::vector<Variable> parameters() const;
+
+  /// Named parameters with dotted paths ("encoder.gates.weight").
+  std::vector<std::pair<std::string, Variable>> named_parameters() const;
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::int64_t parameter_count() const;
+
+  /// Moves every parameter tensor to `space` (gradients are reset).
+  /// Used to place a model replica in simulated-device memory; the
+  /// caller is responsible for charging the transfer (SimDevice).
+  void to_space(MemorySpaceId space);
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable parameter initialized with `init`.
+  Variable register_parameter(std::string name, Tensor init);
+
+  /// Registers a nested module (must outlive this module).
+  void register_module(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace pgti::nn

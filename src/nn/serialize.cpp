@@ -1,0 +1,88 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace pgti::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50475449;  // "PGTI"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path + " for writing");
+  const auto named = module.named_parameters();
+  std::uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  write_u64(os, named.size());
+  for (const auto& [name, param] : named) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor value = param.value().contiguous();
+    write_u64(os, static_cast<std::uint64_t>(value.dim()));
+    for (int d = 0; d < value.dim(); ++d) {
+      write_u64(os, static_cast<std::uint64_t>(value.size(d)));
+    }
+    os.write(reinterpret_cast<const char*>(value.data()),
+             static_cast<std::streamsize>(value.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kMagic) throw std::runtime_error("checkpoint: bad magic in " + path);
+
+  std::map<std::string, Variable> params;
+  for (auto& [name, p] : module.named_parameters()) params.emplace(name, p);
+
+  const std::uint64_t count = read_u64(is);
+  std::uint64_t matched = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t rank = read_u64(is);
+    Shape shape;
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      shape.push_back(static_cast<std::int64_t>(read_u64(is)));
+    }
+    const std::int64_t numel = shape_numel(shape);
+    auto it = params.find(name);
+    if (it == params.end()) {
+      throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
+    }
+    if (it->second.value().shape() != shape) {
+      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
+    }
+    Tensor staged = Tensor::empty(shape);
+    is.read(reinterpret_cast<char*>(staged.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+    it->second.mutable_value().copy_from(staged);
+    ++matched;
+  }
+  if (matched != params.size()) {
+    throw std::runtime_error("checkpoint: file is missing parameters");
+  }
+}
+
+}  // namespace pgti::nn

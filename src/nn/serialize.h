@@ -1,0 +1,21 @@
+// Model checkpointing: save/load parameter tensors.
+//
+// Binary format: magic, count, then per parameter (name length, name,
+// rank, dims, float32 data).  Loading matches by name and validates
+// shapes, so checkpoints survive refactors that only reorder layers.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace pgti::nn {
+
+/// Writes every named parameter of `module` to `path`.
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`.  Throws std::runtime_error
+/// on missing names, shape mismatches, or a corrupt file.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace pgti::nn

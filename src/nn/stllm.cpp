@@ -1,0 +1,146 @@
+#include "nn/stllm.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "runtime/thread_pool.h"
+
+namespace pgti::nn {
+namespace {
+
+// Custom autograd op: tokens[b*N + n, :] += emb[n, :].
+Variable add_node_embedding(const Variable& tokens, const Variable& emb,
+                            std::int64_t batch) {
+  const Tensor& vt = tokens.value();
+  const Tensor& ve = emb.value();
+  const std::int64_t n = ve.size(0);
+  const std::int64_t d = ve.size(1);
+  if (vt.dim() != 2 || vt.size(0) != batch * n || vt.size(1) != d) {
+    throw std::invalid_argument("add_node_embedding: shape mismatch");
+  }
+  Tensor out = Tensor::empty(vt.shape(), vt.space());
+  {
+    const float* pt = vt.data();
+    const float* pe = ve.data();
+    float* po = out.data();
+    parallel_for(0, batch * n, 64, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t r = lo; r < hi; ++r) {
+        const float* erow = pe + (r % n) * d;
+        const float* trow = pt + r * d;
+        float* orow = po + r * d;
+        for (std::int64_t j = 0; j < d; ++j) orow[j] = trow[j] + erow[j];
+      }
+    });
+  }
+  auto it = tokens.impl();
+  auto ie = emb.impl();
+  return Variable::make_node(out, {tokens, emb}, [it, ie, batch, n, d](Variable::Impl& node) {
+    Variable::accumulate(it, node.grad);
+    // d_emb[n] = sum_b grad[b*N + n]
+    Tensor de = Tensor::zeros({n, d}, node.grad.space());
+    const float* pg = node.grad.data();
+    float* pd = de.data();
+    for (std::int64_t r = 0; r < batch * n; ++r) {
+      const float* grow = pg + r * d;
+      float* drow = pd + (r % n) * d;
+      for (std::int64_t j = 0; j < d; ++j) drow[j] += grow[j];
+    }
+    Variable::accumulate(ie, de);
+  });
+}
+
+// Rearranges x [B, T, N, F] into per-node windows [B*N, T*F] (constant
+// input transform; no gradient flows into the raw data).
+Tensor window_tokens(const Tensor& x) {
+  const std::int64_t b = x.size(0), t = x.size(1), n = x.size(2), f = x.size(3);
+  Tensor out = Tensor::empty({b * n, t * f}, x.space());
+  const Tensor xc = x.contiguous();
+  const float* px = xc.data();
+  float* po = out.data();
+  parallel_for(0, b * n, 16, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const std::int64_t bi = r / n;
+      const std::int64_t ni = r % n;
+      float* orow = po + r * (t * f);
+      for (std::int64_t ti = 0; ti < t; ++ti) {
+        const float* src = px + ((bi * t + ti) * n + ni) * f;
+        for (std::int64_t fi = 0; fi < f; ++fi) orow[ti * f + fi] = src[fi];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+STLLM::Block::Block(std::int64_t dim, std::int64_t ffn_dim, Rng& rng)
+    : q(dim, dim, rng),
+      k(dim, dim, rng),
+      v(dim, dim, rng),
+      proj(dim, dim, rng),
+      ffn1(dim, ffn_dim, rng),
+      ffn2(ffn_dim, dim, rng) {
+  ln1_gamma = register_parameter("ln1_gamma", Tensor::ones({dim}));
+  ln1_beta = register_parameter("ln1_beta", Tensor::zeros({dim}));
+  ln2_gamma = register_parameter("ln2_gamma", Tensor::ones({dim}));
+  ln2_beta = register_parameter("ln2_beta", Tensor::zeros({dim}));
+  register_module("q", &q);
+  register_module("k", &k);
+  register_module("v", &v);
+  register_module("proj", &proj);
+  register_module("ffn1", &ffn1);
+  register_module("ffn2", &ffn2);
+}
+
+Variable STLLM::Block::forward(const Variable& x, std::int64_t batch,
+                               std::int64_t tokens) const {
+  // Pre-LN attention with residual.
+  Variable normed = ag::layer_norm(x, ln1_gamma, ln1_beta);
+  Variable attn = ag::batched_attention(q.forward(normed), k.forward(normed),
+                                        v.forward(normed), batch, tokens);
+  Variable x1 = ag::add(x, proj.forward(attn));
+  // Pre-LN FFN with residual.
+  Variable normed2 = ag::layer_norm(x1, ln2_gamma, ln2_beta);
+  Variable f = ffn2.forward(ag::relu(ffn1.forward(normed2)));
+  return ag::add(x1, f);
+}
+
+STLLM::STLLM(const StllmOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      token_embed_(options.input_steps * options.input_dim, options.model_dim, rng_),
+      head_(options.model_dim, options.horizon, rng_) {
+  node_embed_ = register_parameter(
+      "node_embed",
+      Tensor::randn({options.num_nodes, options.model_dim}, rng_, 0.02f));
+  register_module("token_embed", &token_embed_);
+  for (int l = 0; l < options.num_layers; ++l) {
+    blocks_.push_back(std::make_unique<Block>(options.model_dim, options.ffn_dim, rng_));
+    register_module("block" + std::to_string(l), blocks_.back().get());
+  }
+  register_module("head", &head_);
+}
+
+std::vector<Variable> STLLM::forward_seq(const Tensor& x) const {
+  if (x.dim() != 4 || x.size(1) != options_.input_steps ||
+      x.size(2) != options_.num_nodes || x.size(3) != options_.input_dim) {
+    throw std::invalid_argument("STLLM: expected input [B, T, N, F] matching options");
+  }
+  const std::int64_t b = x.size(0);
+  const std::int64_t n = options_.num_nodes;
+
+  Variable tokens(window_tokens(x), false);           // [B*N, T*F]
+  Variable h = token_embed_.forward(tokens);          // [B*N, D]
+  h = add_node_embedding(h, node_embed_, b);
+  for (const auto& block : blocks_) h = block->forward(h, b, n);
+  Variable preds = head_.forward(h);                  // [B*N, horizon]
+
+  std::vector<Variable> outputs;
+  outputs.reserve(static_cast<std::size_t>(options_.horizon));
+  for (std::int64_t t = 0; t < options_.horizon; ++t) {
+    outputs.push_back(ag::reshape(ag::slice_lastdim(preds, t, 1), {b, n, 1}));
+  }
+  return outputs;
+}
+
+}  // namespace pgti::nn

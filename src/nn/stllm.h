@@ -1,0 +1,59 @@
+// ST-LLM surrogate (Liu et al. 2024), used by the paper's broader
+// applicability scaling study (§5.5, Fig. 10).
+//
+// The real ST-LLM embeds spatial-temporal context into tokens consumed
+// by a (partially frozen) GPT-2.  Per DESIGN.md's substitution table we
+// reproduce the *data path*, not the pretrained weights: one token per
+// graph node (embedding of that node's input window plus a learned
+// node embedding), a stack of pre-LN transformer encoder blocks with
+// multi-head-free scaled-dot-product self-attention across the node
+// tokens of each sample, and a regression head that emits the whole
+// prediction horizon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/dcrnn.h"
+
+namespace pgti::nn {
+
+struct StllmOptions {
+  std::int64_t num_nodes = 0;
+  std::int64_t input_dim = 2;
+  std::int64_t input_steps = 12;  ///< window length T
+  std::int64_t model_dim = 64;
+  std::int64_t ffn_dim = 128;
+  int num_layers = 2;
+  std::int64_t horizon = 12;  ///< prediction steps
+  std::uint64_t seed = 42;
+};
+
+class STLLM : public SeqModel {
+ public:
+  explicit STLLM(const StllmOptions& options);
+
+  std::vector<Variable> forward_seq(const Tensor& x) const override;
+  std::int64_t output_dim() const override { return 1; }
+  std::int64_t output_steps(std::int64_t /*input_steps*/) const override {
+    return options_.horizon;
+  }
+
+ private:
+  struct Block : public Module {
+    Block(std::int64_t dim, std::int64_t ffn_dim, Rng& rng);
+    Variable forward(const Variable& x, std::int64_t batch, std::int64_t tokens) const;
+
+    Variable ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+    Linear q, k, v, proj, ffn1, ffn2;
+  };
+
+  StllmOptions options_;
+  Rng rng_;
+  Linear token_embed_;  // T*F -> D
+  Variable node_embed_;  // [N, D] learned spatial embedding
+  std::vector<std::unique_ptr<Block>> blocks_;
+  Linear head_;  // D -> horizon
+};
+
+}  // namespace pgti::nn

@@ -1,0 +1,119 @@
+#include "optim/optim.h"
+
+#include <cmath>
+
+#include "runtime/thread_pool.h"
+
+namespace pgti::optim {
+
+Optimizer::Optimizer(std::vector<Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Optimizer::zero_grad() {
+  for (Variable& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.value().shape(), p.value().space()));
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    const std::int64_t n = p.value().numel();
+    if (momentum_ == 0.0f) {
+      const float lr = lr_;
+      parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) w[j] -= lr * g[j];
+      });
+    } else {
+      float* vel = velocity_[i].data();
+      const float lr = lr_;
+      const float mom = momentum_;
+      parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {
+          vel[j] = mom * vel[j] + g[j];
+          w[j] -= lr * vel[j];
+        }
+      });
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, const Options& options)
+    : Optimizer(std::move(params), options.lr), opt_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.push_back(Tensor::zeros(p.value().shape(), p.value().space()));
+    v_.push_back(Tensor::zeros(p.value().shape(), p.value().space()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(opt_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(opt_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p.value().numel();
+    const float lr = lr_;
+    const float b1 = opt_.beta1, b2 = opt_.beta2, eps = opt_.eps, wd = opt_.weight_decay;
+    parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) {
+        const float grad = g[j] + wd * w[j];
+        m[j] = b1 * m[j] + (1.0f - b1) * grad;
+        v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+        const float mhat = m[j] / bc1;
+        const float vhat = v[j] / bc2;
+        w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+      }
+    });
+  }
+}
+
+LinearScalingSchedule::LinearScalingSchedule(float base_lr, int num_workers,
+                                             int warmup_epochs)
+    : base_lr_(base_lr), num_workers_(num_workers), warmup_epochs_(warmup_epochs) {}
+
+float LinearScalingSchedule::lr_for_epoch(int epoch) const {
+  const float target = base_lr_ * static_cast<float>(num_workers_);
+  if (warmup_epochs_ <= 0 || epoch >= warmup_epochs_) return target;
+  const float frac = static_cast<float>(epoch + 1) / static_cast<float>(warmup_epochs_);
+  return base_lr_ + (target - base_lr_) * frac;
+}
+
+StepDecaySchedule::StepDecaySchedule(float base_lr, int step_epochs, float gamma)
+    : base_lr_(base_lr), step_epochs_(step_epochs), gamma_(gamma) {}
+
+float StepDecaySchedule::lr_for_epoch(int epoch) const {
+  if (step_epochs_ <= 0) return base_lr_;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(epoch / step_epochs_));
+}
+
+CosineSchedule::CosineSchedule(float base_lr, float min_lr, int total_epochs)
+    : base_lr_(base_lr), min_lr_(min_lr), total_epochs_(total_epochs) {}
+
+float CosineSchedule::lr_for_epoch(int epoch) const {
+  if (total_epochs_ <= 1) return min_lr_;
+  const float t = std::min(1.0f, static_cast<float>(epoch) /
+                                     static_cast<float>(total_epochs_ - 1));
+  constexpr float kPi = 3.14159265358979323846f;
+  return min_lr_ + 0.5f * (base_lr_ - min_lr_) * (1.0f + std::cos(kPi * t));
+}
+
+}  // namespace pgti::optim

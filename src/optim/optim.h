@@ -1,0 +1,106 @@
+// Optimizers and learning-rate scheduling.
+//
+// Adam is the paper's optimizer ("default PyTorch Adam", §5).  The
+// linear LR-scaling rule with warmup (Goyal et al. 2017, You et al.
+// 2017) implements the paper's §5.3.3 follow-up: most of the MAE
+// degradation at large worker counts comes from the larger global
+// batch and is mitigated by scaling the learning rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pgti::optim {
+
+/// Common optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the parameters' current gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  float lr() const noexcept { return lr_; }
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  const std::vector<Variable>& params() const noexcept { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_;
+};
+
+/// SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Variable> params, const Options& options);
+  void step() override;
+
+ private:
+  Options opt_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Linear-scaling rule with warmup: lr(w, epoch) ramps from base_lr to
+/// base_lr * num_workers over `warmup_epochs`, then holds.
+class LinearScalingSchedule {
+ public:
+  LinearScalingSchedule(float base_lr, int num_workers, int warmup_epochs);
+  float lr_for_epoch(int epoch) const;
+
+ private:
+  float base_lr_;
+  int num_workers_;
+  int warmup_epochs_;
+};
+
+/// Multiplicative step decay (DCRNN's original schedule: decay by
+/// `gamma` every `step_epochs`).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float base_lr, int step_epochs, float gamma);
+  float lr_for_epoch(int epoch) const;
+
+ private:
+  float base_lr_;
+  int step_epochs_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineSchedule {
+ public:
+  CosineSchedule(float base_lr, float min_lr, int total_epochs);
+  float lr_for_epoch(int epoch) const;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  int total_epochs_;
+};
+
+}  // namespace pgti::optim

@@ -1,0 +1,52 @@
+#include "runtime/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pgti {
+namespace {
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level([] {
+    if (const char* env = std::getenv("PGTI_LOG_LEVEL")) {
+      if (std::strcmp(env, "debug") == 0) return 0;
+      if (std::strcmp(env, "info") == 0) return 1;
+      if (std::strcmp(env, "warn") == 0) return 2;
+      if (std::strcmp(env, "error") == 0) return 3;
+      if (std::strcmp(env, "off") == 0) return 4;
+    }
+    return 2;  // default: warnings and errors only
+  }());
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace detail
+}  // namespace pgti

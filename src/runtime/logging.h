@@ -1,0 +1,45 @@
+// Minimal leveled logger (stderr), controlled by PGTI_LOG_LEVEL.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pgti {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+std::mutex& log_mutex();
+const char* level_name(LogLevel level);
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  std::cerr << "[pgti " << detail::level_name(level) << "] " << os.str() << "\n";
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+
+}  // namespace pgti

@@ -1,0 +1,50 @@
+// Wall-clock timing plus a simulated clock.
+//
+// Measured quantities (kernel compute) use WallTimer.  Modeled
+// quantities (PCIe transfers, network collectives, remote fetches —
+// hardware this environment does not have) are *accounted* on a
+// SimClock instead of slept, so experiment "runtimes" compose measured
+// compute with modeled communication exactly as DESIGN.md documents.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pgti {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Thread-safe accumulator of modeled time, in seconds.
+class SimClock {
+ public:
+  void add(double seconds) {
+    double cur = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(cur, cur + seconds,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  double seconds() const { return seconds_.load(std::memory_order_relaxed); }
+  void reset() { seconds_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> seconds_{0.0};
+};
+
+}  // namespace pgti

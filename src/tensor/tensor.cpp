@@ -1,0 +1,316 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace pgti {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Storage::Storage(std::int64_t numel, MemorySpaceId space)
+    : numel_(numel), space_(space) {
+  const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
+  MemoryTracker::instance().on_alloc(space, bytes);  // may throw OOM
+  try {
+    data_ = std::make_unique<float[]>(static_cast<std::size_t>(numel));
+  } catch (...) {
+    MemoryTracker::instance().on_free(space, bytes);
+    throw;
+  }
+}
+
+Storage::~Storage() {
+  MemoryTracker::instance().on_free(
+      space_, static_cast<std::size_t>(numel_) * sizeof(float));
+}
+
+Tensor::Tensor(std::shared_ptr<Storage> storage, std::int64_t offset, Shape shape,
+               Shape strides)
+    : storage_(std::move(storage)),
+      offset_(offset),
+      shape_(std::move(shape)),
+      strides_(std::move(strides)) {}
+
+Shape Tensor::contiguous_strides(const Shape& shape) {
+  Shape strides(shape.size());
+  std::int64_t acc = 1;
+  for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+    strides[static_cast<std::size_t>(d)] = acc;
+    acc *= shape[static_cast<std::size_t>(d)];
+  }
+  return strides;
+}
+
+Tensor Tensor::empty(const Shape& shape, MemorySpaceId space) {
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+  }
+  auto storage = std::make_shared<Storage>(shape_numel(shape), space);
+  return Tensor(std::move(storage), 0, shape, contiguous_strides(shape));
+}
+
+Tensor Tensor::zeros(const Shape& shape, MemorySpaceId space) {
+  Tensor t = empty(shape, space);
+  std::memset(t.data(), 0, static_cast<std::size_t>(t.numel()) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::full(const Shape& shape, float value, MemorySpaceId space) {
+  Tensor t = empty(shape, space);
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::ones(const Shape& shape, MemorySpaceId space) {
+  return full(shape, 1.0f, space);
+}
+
+Tensor Tensor::randn(const Shape& shape, Rng& rng, float stddev, MemorySpaceId space) {
+  Tensor t = empty(shape, space);
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.normal()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi,
+                       MemorySpaceId space) {
+  Tensor t = empty(shape, space);
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n, MemorySpaceId space) {
+  Tensor t = empty({n}, space);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values, MemorySpaceId space) {
+  Tensor t = empty({static_cast<std::int64_t>(values.size())}, space);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+std::int64_t Tensor::size(int d) const {
+  if (d < 0) d += dim();
+  if (d < 0 || d >= dim()) throw std::out_of_range("Tensor::size: bad dim");
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+std::int64_t Tensor::numel() const noexcept {
+  if (!storage_) return 0;
+  return shape_numel(shape_);
+}
+
+MemorySpaceId Tensor::space() const {
+  if (!storage_) throw std::logic_error("Tensor::space on undefined tensor");
+  return storage_->space();
+}
+
+bool Tensor::is_contiguous() const noexcept {
+  if (!storage_) return true;
+  std::int64_t acc = 1;
+  for (int d = dim() - 1; d >= 0; --d) {
+    const auto dd = static_cast<std::size_t>(d);
+    if (shape_[dd] == 1) continue;  // stride irrelevant for singleton dims
+    if (strides_[dd] != acc) return false;
+    acc *= shape_[dd];
+  }
+  return true;
+}
+
+float* Tensor::data() {
+  if (!storage_) throw std::logic_error("Tensor::data on undefined tensor");
+  return storage_->data() + offset_;
+}
+
+const float* Tensor::data() const {
+  if (!storage_) throw std::logic_error("Tensor::data on undefined tensor");
+  return storage_->data() + offset_;
+}
+
+std::int64_t Tensor::linear_index(std::initializer_list<std::int64_t> idx) const {
+  if (static_cast<int>(idx.size()) != dim()) {
+    throw std::invalid_argument("Tensor::at: rank mismatch");
+  }
+  std::int64_t off = 0;
+  int d = 0;
+  for (std::int64_t i : idx) {
+    const auto dd = static_cast<std::size_t>(d);
+    if (i < 0 || i >= shape_[dd]) throw std::out_of_range("Tensor::at: index out of range");
+    off += i * strides_[dd];
+    ++d;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data()[linear_index(idx)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data()[linear_index(idx)];
+}
+
+float Tensor::item() const {
+  if (numel() != 1) throw std::logic_error("Tensor::item: numel != 1");
+  return data()[0];
+}
+
+Tensor Tensor::slice(int d, std::int64_t start, std::int64_t length) const {
+  if (d < 0) d += dim();
+  if (d < 0 || d >= dim()) throw std::out_of_range("Tensor::slice: bad dim");
+  const auto dd = static_cast<std::size_t>(d);
+  if (start < 0 || length < 0 || start + length > shape_[dd]) {
+    throw std::out_of_range("Tensor::slice: range out of bounds");
+  }
+  Shape new_shape = shape_;
+  new_shape[dd] = length;
+  return Tensor(storage_, offset_ + start * strides_[dd], std::move(new_shape),
+                strides_);
+}
+
+Tensor Tensor::select(int d, std::int64_t idx) const {
+  if (d < 0) d += dim();
+  if (d < 0 || d >= dim()) throw std::out_of_range("Tensor::select: bad dim");
+  const auto dd = static_cast<std::size_t>(d);
+  if (idx < 0 || idx >= shape_[dd]) {
+    throw std::out_of_range("Tensor::select: index out of bounds");
+  }
+  Shape new_shape;
+  Shape new_strides;
+  for (int i = 0; i < dim(); ++i) {
+    if (i == d) continue;
+    new_shape.push_back(shape_[static_cast<std::size_t>(i)]);
+    new_strides.push_back(strides_[static_cast<std::size_t>(i)]);
+  }
+  return Tensor(storage_, offset_ + idx * strides_[dd], std::move(new_shape),
+                std::move(new_strides));
+}
+
+Tensor Tensor::transpose(int d0, int d1) const {
+  if (d0 < 0) d0 += dim();
+  if (d1 < 0) d1 += dim();
+  if (d0 < 0 || d0 >= dim() || d1 < 0 || d1 >= dim()) {
+    throw std::out_of_range("Tensor::transpose: bad dims");
+  }
+  Shape new_shape = shape_;
+  Shape new_strides = strides_;
+  std::swap(new_shape[static_cast<std::size_t>(d0)], new_shape[static_cast<std::size_t>(d1)]);
+  std::swap(new_strides[static_cast<std::size_t>(d0)], new_strides[static_cast<std::size_t>(d1)]);
+  return Tensor(storage_, offset_, std::move(new_shape), std::move(new_strides));
+}
+
+Tensor Tensor::reshape(const Shape& shape) const {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                shape_to_string(shape_) + " -> " + shape_to_string(shape));
+  }
+  if (!is_contiguous()) {
+    throw std::logic_error("Tensor::reshape requires a contiguous tensor; call contiguous()");
+  }
+  return Tensor(storage_, offset_, shape, contiguous_strides(shape));
+}
+
+namespace {
+
+// Generic strided elementwise copy dst <- src (same shape).
+void copy_recursive(float* dst, const Shape& dst_strides, const float* src,
+                    const Shape& src_strides, const Shape& shape, int d) {
+  const auto dd = static_cast<std::size_t>(d);
+  const std::int64_t n = shape[dd];
+  if (d == static_cast<int>(shape.size()) - 1) {
+    const std::int64_t ds = dst_strides[dd];
+    const std::int64_t ss = src_strides[dd];
+    if (ds == 1 && ss == 1) {
+      std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(float));
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) dst[i * ds] = src[i * ss];
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    copy_recursive(dst + i * dst_strides[dd], dst_strides, src + i * src_strides[dd],
+                   src_strides, shape, d + 1);
+  }
+}
+
+}  // namespace
+
+Tensor Tensor::clone() const {
+  if (!storage_) return Tensor();
+  Tensor out = Tensor::empty(shape_, storage_->space());
+  out.copy_from(*this);
+  return out;
+}
+
+Tensor Tensor::contiguous() const {
+  if (is_contiguous()) return *this;
+  return clone();
+}
+
+Tensor Tensor::to(MemorySpaceId space) const {
+  if (!storage_) return Tensor();
+  Tensor out = Tensor::empty(shape_, space);
+  out.copy_from(*this);
+  return out;
+}
+
+void Tensor::fill_(float value) {
+  if (!storage_) return;
+  if (is_contiguous()) {
+    float* p = data();
+    std::fill(p, p + numel(), value);
+    return;
+  }
+  // Strided fill via copy from a broadcast would be overkill; iterate.
+  Tensor tmp = Tensor::full(shape_, value, storage_->space());
+  copy_from(tmp);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  if (shape_ != src.shape_) {
+    throw std::invalid_argument("Tensor::copy_from: shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(src.shape_));
+  }
+  if (numel() == 0) return;
+  if (dim() == 0) {
+    data()[0] = src.data()[0];
+    return;
+  }
+  copy_recursive(data(), strides_, src.data(), src.strides_, shape_, 0);
+}
+
+std::int64_t Tensor::storage_bytes() const {
+  if (!storage_) return 0;
+  return storage_->numel() * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace pgti

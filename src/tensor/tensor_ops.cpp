@@ -1,0 +1,426 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/thread_pool.h"
+
+namespace pgti::ops {
+namespace {
+
+constexpr std::int64_t kGrain = 16384;  // min elements per parallel chunk
+
+const Tensor& require_contiguous(const Tensor& t, const char* what) {
+  if (!t.is_contiguous()) {
+    throw std::logic_error(std::string(what) + ": tensor must be contiguous");
+  }
+  return t;
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* what, F f) {
+  require_same_shape(a, b, what);
+  require_contiguous(a, what);
+  require_contiguous(b, what);
+  Tensor out = Tensor::empty(a.shape(), a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& t, const char* what, F f) {
+  require_contiguous(t, what);
+  Tensor out = Tensor::empty(t.shape(), t.space());
+  const float* pt = t.data();
+  float* po = out.data();
+  parallel_for(0, t.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pt[i]);
+  });
+  return out;
+}
+
+// Rows/cols of a tensor treated as a [M, C] matrix (flatten leading dims).
+std::pair<std::int64_t, std::int64_t> as_matrix(const Tensor& t, const char* what) {
+  if (t.dim() < 1) throw std::invalid_argument(std::string(what) + ": rank 0");
+  const std::int64_t c = t.size(-1);
+  return {t.numel() / (c == 0 ? 1 : c), c};
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, "add_scalar", [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, "mul_scalar", [s](float x) { return x * s; });
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_");
+  require_contiguous(a, "add_");
+  require_contiguous(b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
+}
+
+void sub_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pa[i] -= pb[i];
+  });
+}
+
+void mul_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pa[i] *= pb[i];
+  });
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pa[i] *= s;
+  });
+}
+
+void axpy_(float alpha, const Tensor& x, Tensor& y) {
+  require_same_shape(x, y, "axpy_");
+  const float* px = x.data();
+  float* py = y.data();
+  parallel_for(0, x.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
+  });
+}
+
+Tensor sigmoid(const Tensor& t) {
+  return unary_op(t, "sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor tanh(const Tensor& t) {
+  return unary_op(t, "tanh", [](float x) { return std::tanh(x); });
+}
+Tensor relu(const Tensor& t) {
+  return unary_op(t, "relu", [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor exp(const Tensor& t) {
+  return unary_op(t, "exp", [](float x) { return std::exp(x); });
+}
+Tensor abs(const Tensor& t) {
+  return unary_op(t, "abs", [](float x) { return std::fabs(x); });
+}
+Tensor neg(const Tensor& t) {
+  return unary_op(t, "neg", [](float x) { return -x; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul");
+  require_contiguous(b, "matmul");
+  if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  const std::int64_t M = a.size(0), K = a.size(1), N = b.size(1);
+  Tensor out = Tensor::zeros({M, N}, a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(0, M, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, K * N / M + 1)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const float* arow = pa + i * K;
+                   float* crow = pc + i * N;
+                   for (std::int64_t k = 0; k < K; ++k) {
+                     const float aik = arow[k];
+                     if (aik == 0.0f) continue;
+                     const float* brow = pb + k * N;
+                     for (std::int64_t j = 0; j < N; ++j) crow[j] += aik * brow[j];
+                   }
+                 }
+               });
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_tn");
+  require_contiguous(b, "matmul_tn");
+  if (a.dim() != 2 || b.dim() != 2 || a.size(0) != b.size(0)) {
+    throw std::invalid_argument("matmul_tn: incompatible shapes");
+  }
+  const std::int64_t K = a.size(0), M = a.size(1), N = b.size(1);
+  Tensor out = Tensor::zeros({M, N}, a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // C[m, n] = sum_k A[k, m] * B[k, n].  Parallelizing over m would race
+  // nothing, but the k-major layout favours accumulating rank-1 updates;
+  // chunk over m and walk k inside to stay race-free.
+  parallel_for(0, M, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float* arow = pa + k * M;
+      const float* brow = pb + k * N;
+      for (std::int64_t m = lo; m < hi; ++m) {
+        const float akm = arow[m];
+        if (akm == 0.0f) continue;
+        float* crow = pc + m * N;
+        for (std::int64_t n = 0; n < N; ++n) crow[n] += akm * brow[n];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_nt");
+  require_contiguous(b, "matmul_nt");
+  if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(1)) {
+    throw std::invalid_argument("matmul_nt: incompatible shapes");
+  }
+  const std::int64_t M = a.size(0), K = a.size(1), N = b.size(0);
+  Tensor out = Tensor::empty({M, N}, a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(0, M, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * K;
+      float* crow = pc + i * N;
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* brow = pb + j * K;
+        float acc = 0.0f;
+        for (std::int64_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+        crow[j] = acc;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor add_bias(const Tensor& m, const Tensor& bias) {
+  require_contiguous(m, "add_bias");
+  require_contiguous(bias, "add_bias");
+  const auto [rows, cols] = as_matrix(m, "add_bias");
+  if (bias.dim() != 1 || bias.size(0) != cols) {
+    throw std::invalid_argument("add_bias: bias must be [C]");
+  }
+  Tensor out = Tensor::empty(m.shape(), m.space());
+  const float* pm = m.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, cols)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t r = lo; r < hi; ++r) {
+                   const float* src = pm + r * cols;
+                   float* dst = po + r * cols;
+                   for (std::int64_t c = 0; c < cols; ++c) dst[c] = src[c] + pb[c];
+                 }
+               });
+  return out;
+}
+
+Tensor mul_colvec(const Tensor& m, const Tensor& col) {
+  require_contiguous(m, "mul_colvec");
+  require_contiguous(col, "mul_colvec");
+  const auto [rows, cols] = as_matrix(m, "mul_colvec");
+  if (col.numel() != rows) {
+    throw std::invalid_argument("mul_colvec: col must have one entry per row");
+  }
+  Tensor out = Tensor::empty(m.shape(), m.space());
+  const float* pm = m.data();
+  const float* pc = col.data();
+  float* po = out.data();
+  parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, cols)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t r = lo; r < hi; ++r) {
+                   const float s = pc[r];
+                   const float* src = pm + r * cols;
+                   float* dst = po + r * cols;
+                   for (std::int64_t c = 0; c < cols; ++c) dst[c] = src[c] * s;
+                 }
+               });
+  return out;
+}
+
+double sum(const Tensor& t) {
+  require_contiguous(t, "sum");
+  const float* p = t.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0, n = t.numel(); i < n; ++i) acc += p[i];
+  return acc;
+}
+
+double mean(const Tensor& t) {
+  const std::int64_t n = t.numel();
+  return n == 0 ? 0.0 : sum(t) / static_cast<double>(n);
+}
+
+float max_abs(const Tensor& t) {
+  require_contiguous(t, "max_abs");
+  const float* p = t.data();
+  float m = 0.0f;
+  for (std::int64_t i = 0, n = t.numel(); i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+Tensor colsum(const Tensor& m) {
+  require_contiguous(m, "colsum");
+  const auto [rows, cols] = as_matrix(m, "colsum");
+  Tensor out = Tensor::zeros({cols}, m.space());
+  const float* pm = m.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = pm + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) po[c] += src[c];
+  }
+  return out;
+}
+
+Tensor rowsum(const Tensor& m) {
+  require_contiguous(m, "rowsum");
+  const auto [rows, cols] = as_matrix(m, "rowsum");
+  Tensor out = Tensor::zeros({rows, 1}, m.space());
+  const float* pm = m.data();
+  float* po = out.data();
+  parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, cols)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t r = lo; r < hi; ++r) {
+                   const float* src = pm + r * cols;
+                   float acc = 0.0f;
+                   for (std::int64_t c = 0; c < cols; ++c) acc += src[c];
+                   po[r] = acc;
+                 }
+               });
+  return out;
+}
+
+Tensor concat_lastdim(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_lastdim: no inputs");
+  std::int64_t total_c = 0;
+  for (const Tensor& p : parts) {
+    require_contiguous(p, "concat_lastdim");
+    if (p.dim() != parts[0].dim()) {
+      throw std::invalid_argument("concat_lastdim: rank mismatch");
+    }
+    for (int d = 0; d + 1 < p.dim(); ++d) {
+      if (p.size(d) != parts[0].size(d)) {
+        throw std::invalid_argument("concat_lastdim: leading dim mismatch");
+      }
+    }
+    total_c += p.size(-1);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape.back() = total_c;
+  Tensor out = Tensor::empty(out_shape, parts[0].space());
+  const std::int64_t rows = out.numel() / total_c;
+  float* po = out.data();
+  std::int64_t col_off = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t c = p.size(-1);
+    const float* pp = p.data();
+    parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, c)),
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t r = lo; r < hi; ++r) {
+                     std::copy(pp + r * c, pp + (r + 1) * c, po + r * total_c + col_off);
+                   }
+                 });
+    col_off += c;
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& t) {
+  require_contiguous(t, "softmax_lastdim");
+  const auto [rows, cols] = as_matrix(t, "softmax_lastdim");
+  Tensor out = Tensor::empty(t.shape(), t.space());
+  const float* pt = t.data();
+  float* po = out.data();
+  parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, cols)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t r = lo; r < hi; ++r) {
+                   const float* src = pt + r * cols;
+                   float* dst = po + r * cols;
+                   float mx = src[0];
+                   for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
+                   float z = 0.0f;
+                   for (std::int64_t c = 0; c < cols; ++c) {
+                     dst[c] = std::exp(src[c] - mx);
+                     z += dst[c];
+                   }
+                   const float inv = 1.0f / z;
+                   for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+                 }
+               });
+  return out;
+}
+
+double mae(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "mae");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double acc = 0.0;
+  const std::int64_t n = pred.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += std::fabs(static_cast<double>(pp[i]) - pt[i]);
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double mse(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "mse");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double acc = 0.0;
+  const std::int64_t n = pred.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    acc += d * d;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "max_abs_diff");
+  const Tensor ca = a.contiguous();
+  const Tensor cb = b.contiguous();
+  const float* pa = ca.data();
+  const float* pb = cb.data();
+  float m = 0.0f;
+  for (std::int64_t i = 0, n = ca.numel(); i < n; ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace pgti::ops

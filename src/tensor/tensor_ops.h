@@ -1,0 +1,78 @@
+// Threaded compute kernels over contiguous tensors.
+//
+// These are the forward primitives; autograd composes them into
+// differentiable ops.  Kernels parallelize over the leading dimension
+// with OpenMP-style parallel_for.  Inputs must be contiguous (views
+// from index-batching are made contiguous during batch assembly, which
+// is exactly the copy the paper's batch collation performs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgti::ops {
+
+// --- elementwise binary (same shape) ---------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// --- elementwise with scalar ------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// --- in-place ----------------------------------------------------------
+void add_(Tensor& a, const Tensor& b);           ///< a += b
+void sub_(Tensor& a, const Tensor& b);           ///< a -= b
+void mul_(Tensor& a, const Tensor& b);           ///< a *= b
+void scale_(Tensor& a, float s);                 ///< a *= s
+void axpy_(float alpha, const Tensor& x, Tensor& y);  ///< y += alpha * x
+
+// --- unary ---------------------------------------------------------------
+Tensor sigmoid(const Tensor& t);
+Tensor tanh(const Tensor& t);
+Tensor relu(const Tensor& t);
+Tensor exp(const Tensor& t);
+Tensor abs(const Tensor& t);
+Tensor neg(const Tensor& t);
+
+// --- linear algebra -------------------------------------------------------
+/// C[M,N] = A[M,K] * B[K,N]
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[M,N] = A[K,M]^T * B[K,N]  (used by matmul backward wrt rhs)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C[M,N] = A[M,K] * B[N,K]^T  (used by matmul backward wrt lhs)
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// out[M,C] = m[M,C] + bias[C] broadcast over rows.
+Tensor add_bias(const Tensor& m, const Tensor& bias);
+/// out[M,C] = m[M,C] * col[M,1] broadcast over columns.
+Tensor mul_colvec(const Tensor& m, const Tensor& col);
+
+// --- reductions ------------------------------------------------------------
+double sum(const Tensor& t);
+double mean(const Tensor& t);
+float max_abs(const Tensor& t);
+/// Column sums: [M,C] -> [C] (bias gradients).
+Tensor colsum(const Tensor& m);
+/// Row sums: [M,C] -> [M,1].
+Tensor rowsum(const Tensor& m);
+
+// --- shape/manipulation -----------------------------------------------------
+/// Concatenate along the last dimension; all other dims must match.
+Tensor concat_lastdim(const std::vector<Tensor>& parts);
+
+// --- softmax -----------------------------------------------------------------
+/// Softmax over the last dimension (numerically stabilized).
+Tensor softmax_lastdim(const Tensor& t);
+
+// --- metrics ------------------------------------------------------------------
+double mae(const Tensor& pred, const Tensor& target);
+double mse(const Tensor& pred, const Tensor& target);
+/// Max |a-b| over all elements; handy for exactness tests.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pgti::ops

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "graph/csr.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+constexpr double kTol = 2e-2;  // float32 central differences
+
+Variable leaf(const Shape& shape, std::uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return Variable(Tensor::randn(shape, rng, scale), /*requires_grad=*/true);
+}
+
+// ------------------------------------------------------------ mechanics
+
+TEST(Autograd, LeafRequiresGrad) {
+  Variable v(Tensor::zeros({2}), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_TRUE(v.needs_grad());
+}
+
+TEST(Autograd, ConstantHasNoTape) {
+  Variable c(Tensor::zeros({2}), false);
+  Variable d = ag::mul_scalar(c, 2.0f);
+  EXPECT_FALSE(d.needs_grad());
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Variable v = leaf({3}, 1);
+  EXPECT_THROW(v.backward(), std::logic_error);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwards) {
+  Variable v = leaf({2}, 2);
+  Variable loss = ag::sum_all(v);
+  loss.backward();
+  loss.backward();
+  EXPECT_EQ(v.grad().at({0}), 2.0f);
+  v.zero_grad();
+  EXPECT_EQ(v.grad().at({0}), 0.0f);
+}
+
+TEST(Autograd, SharedSubexpressionGradSums) {
+  // loss = sum(v + v) -> dv = 2
+  Variable v = leaf({3}, 3);
+  Variable loss = ag::sum_all(ag::add(v, v));
+  loss.backward();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_NEAR(v.grad().at({i}), 2.0f, 1e-6f);
+}
+
+TEST(Autograd, DetachCutsTape) {
+  Variable v = leaf({2}, 4);
+  Variable d = v.detach();
+  Variable loss = ag::sum_all(ag::mul(d, d));
+  loss.backward();
+  EXPECT_FALSE(v.has_grad());
+}
+
+TEST(Autograd, DiamondGraph) {
+  // loss = sum(a*b + a) with both paths through a.
+  Variable a(Tensor::full({2}, 3.0f), true);
+  Variable b(Tensor::full({2}, 5.0f), true);
+  Variable loss = ag::sum_all(ag::add(ag::mul(a, b), a));
+  loss.backward();
+  EXPECT_NEAR(a.grad().at({0}), 6.0f, 1e-6f);  // b + 1
+  EXPECT_NEAR(b.grad().at({0}), 3.0f, 1e-6f);  // a
+}
+
+// ------------------------------------------------------------ gradchecks
+
+TEST(GradCheck, Add) {
+  Variable a = leaf({3, 4}, 10);
+  Variable b = leaf({3, 4}, 11);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::add(x, b)); }, a);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, SubRhs) {
+  Variable a = leaf({3, 4}, 12);
+  Variable b = leaf({3, 4}, 13);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::sub(a, x)); }, b);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, Mul) {
+  Variable a = leaf({2, 5}, 14);
+  Variable b = leaf({2, 5}, 15);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::mean_all(ag::mul(x, b)); }, a);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, MatmulLhs) {
+  Variable a = leaf({3, 4}, 16);
+  Variable b = leaf({4, 2}, 17);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::matmul(x, b)); }, a);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, MatmulRhs) {
+  Variable a = leaf({3, 4}, 18);
+  Variable b = leaf({4, 2}, 19);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::mean_all(ag::matmul(a, x)); }, b);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, AddBiasBoth) {
+  Variable m = leaf({4, 3}, 20);
+  Variable bias = leaf({3}, 21);
+  auto rm = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::add_bias(x, bias)); }, m);
+  EXPECT_LT(rm.max_rel_err, kTol);
+  auto rb = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::add_bias(m, x)); }, bias);
+  EXPECT_LT(rb.max_rel_err, kTol);
+}
+
+TEST(GradCheck, MulColvec) {
+  Variable m = leaf({4, 3}, 22);
+  Variable col = leaf({4, 1}, 23);
+  auto rm = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::mul_colvec(x, col)); }, m);
+  EXPECT_LT(rm.max_rel_err, kTol);
+  auto rc = ag::gradcheck(
+      [&](const Variable& x) { return ag::sum_all(ag::mul_colvec(m, x)); }, col);
+  EXPECT_LT(rc.max_rel_err, kTol);
+}
+
+class ActivationGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActivationGradCheck, MatchesFiniteDifferences) {
+  Variable v = leaf({3, 5}, 24 + static_cast<std::uint64_t>(GetParam()));
+  const int which = GetParam();
+  auto fn = [which](const Variable& x) {
+    switch (which) {
+      case 0: return ag::sum_all(ag::sigmoid(x));
+      case 1: return ag::sum_all(ag::tanh(x));
+      case 2: return ag::sum_all(ag::relu(x));
+      default: return ag::sum_all(ag::neg(x));
+    }
+  };
+  auto res = ag::gradcheck(fn, v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradCheck, ::testing::Range(0, 4));
+
+TEST(GradCheck, Reshape) {
+  Variable v = leaf({2, 6}, 30);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        return ag::sum_all(ag::mul(ag::reshape(x, {3, 4}), ag::reshape(x, {3, 4})));
+      },
+      v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, ConcatLastdim) {
+  Variable a = leaf({3, 2}, 31);
+  Variable b = leaf({3, 4}, 32);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        Variable cat = ag::concat_lastdim({x, b});
+        return ag::sum_all(ag::mul(cat, cat));
+      },
+      a);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, SliceDim0) {
+  Variable v = leaf({6, 3}, 33);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        Variable s = ag::slice_dim0(x, 1, 3);
+        return ag::sum_all(ag::mul(s, s));
+      },
+      v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, SliceLastdim) {
+  Variable v = leaf({4, 6}, 34);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        Variable s = ag::slice_lastdim(x, 2, 3);
+        return ag::sum_all(ag::mul(s, s));
+      },
+      v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, SoftmaxLastdim) {
+  Variable v = leaf({3, 4}, 35);
+  Rng rng(99);
+  Tensor w = Tensor::randn({3, 4}, rng);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        return ag::sum_all(ag::mul(ag::softmax_lastdim(x), Variable(w, false)));
+      },
+      v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, LayerNormInput) {
+  Variable v = leaf({4, 6}, 36);
+  Variable gamma(Tensor::ones({6}), true);
+  Variable beta(Tensor::zeros({6}), true);
+  Rng rng(100);
+  Tensor w = Tensor::randn({4, 6}, rng);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        return ag::sum_all(ag::mul(ag::layer_norm(x, gamma, beta), Variable(w, false)));
+      },
+      v, /*eps=*/3e-3f);
+  EXPECT_LT(res.max_rel_err, 6e-2);
+}
+
+TEST(GradCheck, LayerNormAffineParams) {
+  Variable v = leaf({4, 6}, 37);
+  Variable gamma(Tensor::ones({6}), true);
+  Variable beta(Tensor::zeros({6}), true);
+  Rng rng(101);
+  Tensor w = Tensor::randn({4, 6}, rng);
+  auto fn = [&](const Variable&) {
+    return ag::sum_all(ag::mul(ag::layer_norm(v, gamma, beta), Variable(w, false)));
+  };
+  auto rg = ag::gradcheck([&](const Variable&) { return fn(gamma); }, gamma);
+  EXPECT_LT(rg.max_rel_err, kTol);
+  auto rb = ag::gradcheck([&](const Variable&) { return fn(beta); }, beta);
+  EXPECT_LT(rb.max_rel_err, kTol);
+}
+
+TEST(GradCheck, Spmm2d) {
+  Csr p = Csr::from_coo(3, 3, {{0, 1, 0.5f}, {1, 0, 0.25f}, {1, 2, 0.75f}, {2, 2, 1.0f}});
+  Csr pt = p.transpose();
+  Variable x = leaf({3, 4}, 38);
+  auto res = ag::gradcheck(
+      [&](const Variable& v) {
+        Variable y = ag::spmm(p, pt, v);
+        return ag::sum_all(ag::mul(y, y));
+      },
+      x);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, SpmmBatched) {
+  Csr p = Csr::from_coo(3, 3, {{0, 1, 0.5f}, {1, 0, 0.25f}, {2, 1, 0.5f}, {2, 2, 1.0f}});
+  Csr pt = p.transpose();
+  Variable x = leaf({2, 3, 2}, 39);
+  auto res = ag::gradcheck(
+      [&](const Variable& v) {
+        Variable y = ag::spmm(p, pt, v);
+        return ag::sum_all(ag::mul(y, y));
+      },
+      x);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, BatchedAttentionQkv) {
+  const std::int64_t batch = 2, tokens = 3, dim = 4;
+  Variable q = leaf({batch * tokens, dim}, 40, 0.5f);
+  Variable k = leaf({batch * tokens, dim}, 41, 0.5f);
+  Variable v = leaf({batch * tokens, dim}, 42, 0.5f);
+  Rng rng(102);
+  Tensor w = Tensor::randn({batch * tokens, dim}, rng);
+  auto make_fn = [&](Variable& target) {
+    return ag::gradcheck(
+        [&](const Variable&) {
+          Variable out = ag::batched_attention(q, k, v, batch, tokens);
+          return ag::sum_all(ag::mul(out, Variable(w, false)));
+        },
+        target, /*eps=*/3e-3f);
+  };
+  EXPECT_LT(make_fn(q).max_rel_err, 6e-2);
+  EXPECT_LT(make_fn(k).max_rel_err, 6e-2);
+  EXPECT_LT(make_fn(v).max_rel_err, 6e-2);
+}
+
+TEST(GradCheck, MaeLoss) {
+  // Keep inputs away from the |.| kink.
+  Variable pred(Tensor::from_vector({1.0f, -2.0f, 3.0f}), true);
+  Tensor target = Tensor::from_vector({0.0f, 0.0f, 0.0f});
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::mae_loss(x, target); }, pred, 1e-4f);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, MseLoss) {
+  Variable pred = leaf({4, 3}, 43);
+  Rng rng(103);
+  Tensor target = Tensor::randn({4, 3}, rng);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::mse_loss(x, target); }, pred);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, MeanAll) {
+  Variable v = leaf({5}, 44);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) { return ag::mean_all(ag::mul(x, x)); }, v);
+  EXPECT_LT(res.max_rel_err, kTol);
+}
+
+TEST(GradCheck, DeepChain) {
+  Variable v = leaf({3, 3}, 45, 0.3f);
+  auto res = ag::gradcheck(
+      [&](const Variable& x) {
+        Variable h = x;
+        for (int i = 0; i < 5; ++i) h = ag::tanh(ag::add(ag::mul(h, h), x));
+        return ag::mean_all(h);
+      },
+      v);
+  EXPECT_LT(res.max_rel_err, 5e-2);
+}
+
+// Numerical identities.
+
+TEST(AutogradValues, SpmmMatchesDense) {
+  Csr p = Csr::from_coo(4, 4, {{0, 1, 2.0f}, {1, 2, 3.0f}, {2, 0, 1.0f}, {3, 3, 0.5f}});
+  Rng rng(200);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  Tensor via_sparse = p.spmm(x);
+  Tensor via_dense = ops::matmul(p.to_dense(), x);
+  EXPECT_LT(ops::max_abs_diff(via_sparse, via_dense), 1e-5f);
+}
+
+TEST(AutogradValues, AttentionRowsMixValues) {
+  // With identical queries/keys, attention averages values per batch.
+  const std::int64_t batch = 1, tokens = 3, dim = 2;
+  Variable q(Tensor::zeros({tokens, dim}), false);
+  Variable k(Tensor::zeros({tokens, dim}), false);
+  Tensor vals = Tensor::from_vector({1, 2, 3, 4, 5, 6}).reshape({3, 2});
+  Variable v(vals, false);
+  Variable out = ag::batched_attention(q, k, v, batch, tokens);
+  // uniform attention -> each row = column means (3, 4)
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    EXPECT_NEAR(out.value().at({t, 0}), 3.0f, 1e-5f);
+    EXPECT_NEAR(out.value().at({t, 1}), 4.0f, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace pgti

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset_spec.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti::data {
+namespace {
+
+// ----------------------------------------------------- catalog & formulas
+
+TEST(Catalog, HasSixDatasets) { EXPECT_EQ(paper_catalog().size(), 6u); }
+
+TEST(Catalog, LookupByKind) {
+  EXPECT_EQ(spec_for(DatasetKind::kPems).nodes, 11126);
+  EXPECT_EQ(spec_for(DatasetKind::kChickenpoxHungary).entries, 522);
+  EXPECT_EQ(spec_for(DatasetKind::kPemsBay).horizon, 12);
+}
+
+TEST(Catalog, SnapshotCountFormula) {
+  DatasetSpec s = spec_for(DatasetKind::kMetrLa);
+  EXPECT_EQ(s.num_snapshots(), s.entries - (2 * s.horizon - 1));
+}
+
+// The paper's Table 1 "Size After Preprocessing" column, reproduced from
+// Eq. (1).  Units in the paper are mixed (decimal for Windmill/Chickenpox,
+// binary for the traffic rows); we check against the right unit per row.
+struct Table1Row {
+  DatasetKind kind;
+  double paper_after;  // value as printed in the paper
+  double unit;         // bytes per printed unit
+  double tol_frac;     // tolerance (entry-count off-by-ones in the paper)
+};
+
+class Table1SizeTest : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1SizeTest, Eq1MatchesPaperPublishedSize) {
+  const Table1Row row = GetParam();
+  const DatasetSpec spec = spec_for(row.kind);
+  const double ours = standard_preprocessed_bytes(spec) / row.unit;
+  EXPECT_NEAR(ours, row.paper_after, row.paper_after * row.tol_frac)
+      << spec.name << ": got " << ours;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, Table1SizeTest,
+    ::testing::Values(
+        // Chickenpox: 657.92 KB (decimal); paper uses S = entries-2h.
+        Table1Row{DatasetKind::kChickenpoxHungary, 657.92, 1e3, 0.005},
+        // Windmill: 712.80 MB decimal — exact.
+        Table1Row{DatasetKind::kWindmillLarge, 712.80, 1e6, 0.001},
+        // METR-LA: 2.54 GB binary (GiB).
+        Table1Row{DatasetKind::kMetrLa, 2.54, 1073741824.0, 0.01},
+        // PeMS-BAY: 6.05 GB binary.
+        Table1Row{DatasetKind::kPemsBay, 6.05, 1073741824.0, 0.01},
+        // PeMS-All-LA: 102.08 GB binary.
+        Table1Row{DatasetKind::kPemsAllLa, 102.08, 1073741824.0, 0.005},
+        // PeMS: 419.46 GB — the headline number, binary units like the
+        // other traffic rows (449.0e9 bytes = 418.2 GiB).
+        Table1Row{DatasetKind::kPems, 419.46, 1073741824.0, 0.01}));
+
+TEST(SizeFormulas, PemsRawMatchesPaper) {
+  // 8.71 GB before preprocessing (binary units).
+  const DatasetSpec spec = spec_for(DatasetKind::kPems);
+  EXPECT_NEAR(raw_bytes(spec) / 1073741824.0, 8.71, 0.05);
+}
+
+TEST(SizeFormulas, WindmillRawMatchesPaper) {
+  const DatasetSpec spec = spec_for(DatasetKind::kWindmillLarge);
+  EXPECT_NEAR(raw_bytes(spec) / 1e6, 44.59, 0.05);
+}
+
+TEST(SizeFormulas, IndexBatchingIsDramaticallySmaller) {
+  // The 89% reduction claim: for PeMS, Eq. 2 vs Eq. 1.
+  const DatasetSpec spec = spec_for(DatasetKind::kPems);
+  const double standard = standard_preprocessed_bytes(spec);
+  const double index = index_batching_bytes(spec);
+  EXPECT_LT(index / standard, 0.05);  // > 95% smaller at full scale
+}
+
+TEST(SizeFormulas, IndexSizeIndependentOfHorizon) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay);
+  spec.horizon = 12;
+  const double h12 = index_batching_bytes(spec);
+  spec.horizon = 48;
+  const double h48 = index_batching_bytes(spec);
+  // Only the (small) index array shrinks with larger horizons.
+  EXPECT_NEAR(h12, h48, stage1_bytes(spec) * 0.001);
+}
+
+TEST(SizeFormulas, StandardSizeGrowsLinearlyWithHorizon) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay);
+  spec.horizon = 6;
+  const double h6 = standard_preprocessed_bytes(spec);
+  spec.horizon = 12;
+  const double h12 = standard_preprocessed_bytes(spec);
+  EXPECT_NEAR(h12 / h6, 2.0, 0.01);
+}
+
+TEST(SizeFormulas, GrowthStagesMonotone) {
+  const GrowthStages g = growth_stages(spec_for(DatasetKind::kPemsAllLa));
+  EXPECT_LT(g.raw, g.with_time_feature);
+  EXPECT_LT(g.with_time_feature, g.after_swa);
+  EXPECT_LT(g.after_swa, g.after_xy_split);
+  EXPECT_DOUBLE_EQ(g.after_xy_split, 2.0 * g.after_swa);
+}
+
+// Property sweep: Eq. (2) < Eq. (1) for every horizon/node/entry combo.
+class MemoryModelProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MemoryModelProperty, IndexAlwaysSmallerThanStandard) {
+  const auto [nodes, entries, horizon] = GetParam();
+  DatasetSpec spec;
+  spec.nodes = nodes;
+  spec.entries = entries;
+  spec.features = 2;
+  spec.horizon = horizon;
+  ASSERT_GT(spec.num_snapshots(), 0);
+  EXPECT_LT(index_batching_bytes(spec), standard_preprocessed_bytes(spec));
+  // Reduction ratio approaches 1/(2*horizon) for long series.
+  const double ratio = index_batching_bytes(spec) / standard_preprocessed_bytes(spec);
+  EXPECT_GT(ratio, 1.0 / (2.1 * static_cast<double>(horizon)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MemoryModelProperty,
+                         ::testing::Combine(::testing::Values(10, 300, 5000),
+                                            ::testing::Values(500, 10000, 100000),
+                                            ::testing::Values(3, 12, 24)));
+
+TEST(Scaled, PreservesStructure) {
+  const DatasetSpec spec = spec_for(DatasetKind::kPems).scaled(16);
+  EXPECT_EQ(spec.horizon, 12);
+  EXPECT_EQ(spec.features, 2);
+  EXPECT_NEAR(static_cast<double>(spec.nodes), 11126.0 / 16.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(spec.entries), 105120.0 / 16.0, 1.0);
+}
+
+TEST(Scaled, ClampsTinyResults) {
+  const DatasetSpec spec = spec_for(DatasetKind::kChickenpoxHungary).scaled(1000);
+  EXPECT_GE(spec.nodes, 8);
+  EXPECT_GE(spec.entries, 8 * spec.horizon);
+}
+
+TEST(Scaled, FactorBelowOneRejected) {
+  EXPECT_THROW(spec_for(DatasetKind::kPems).scaled(0.5), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- generators
+
+TEST(Synthetic, ShapeMatchesSpec) {
+  const DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 1);
+  EXPECT_EQ(raw.shape(), (Shape{spec.entries, spec.nodes, 1}));
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const DatasetSpec spec = spec_for(DatasetKind::kChickenpoxHungary);
+  SensorNetwork net = network_for(spec);
+  Tensor a = generate_signal(spec, net, 9);
+  Tensor b = generate_signal(spec, net, 9);
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0f);
+  Tensor c = generate_signal(spec, net, 10);
+  EXPECT_GT(ops::max_abs_diff(a, c), 0.0f);
+}
+
+TEST(Synthetic, TrafficSpeedsInPlausibleRange) {
+  const DatasetSpec spec = spec_for(DatasetKind::kMetrLa).scaled(32);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 2);
+  const float* p = raw.data();
+  for (std::int64_t i = 0; i < raw.numel(); ++i) {
+    EXPECT_GE(p[i], 0.0f);
+    EXPECT_LE(p[i], 90.0f);
+  }
+}
+
+TEST(Synthetic, EpidemicCountsNonNegative) {
+  const DatasetSpec spec = spec_for(DatasetKind::kChickenpoxHungary);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 3);
+  EXPECT_GE(ops::sum(raw), 0.0);
+  const float* p = raw.data();
+  for (std::int64_t i = 0; i < raw.numel(); ++i) EXPECT_GE(p[i], 0.0f);
+}
+
+TEST(Synthetic, TrafficHasDiurnalAutocorrelation) {
+  // Speed at t and t+period should correlate more than t and t+period/2.
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(32);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 4);
+  const std::int64_t period = spec.steps_per_period;
+  const std::int64_t n = spec.nodes;
+  auto corr_at_lag = [&](std::int64_t lag) {
+    double num = 0.0, cnt = 0.0;
+    for (std::int64_t t = 0; t + lag < spec.entries; t += 7) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double a = raw.at({t, j, 0});
+        const double b = raw.at({t + lag, j, 0});
+        num += (a - 60.0) * (b - 60.0);
+        cnt += 1.0;
+      }
+    }
+    return num / cnt;
+  };
+  EXPECT_GT(corr_at_lag(period), corr_at_lag(period / 2));
+}
+
+TEST(Synthetic, SpatialNeighborsCorrelate) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(16);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 5);
+  // Average |v_i - v_j| for connected pairs should be below the average
+  // for random pairs (spatial smoothing at work).
+  double adj_diff = 0.0, adj_cnt = 0.0, rnd_diff = 0.0, rnd_cnt = 0.0;
+  Rng rng(6);
+  const auto& a = net.adjacency;
+  for (std::int64_t t = 0; t < spec.entries; t += 97) {
+    for (std::int64_t r = 0; r < a.rows(); ++r) {
+      for (std::int64_t k = a.row_ptr()[static_cast<std::size_t>(r)];
+           k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+        const std::int64_t c = a.col_idx()[static_cast<std::size_t>(k)];
+        if (c == r) continue;
+        adj_diff += std::fabs(raw.at({t, r, 0}) - raw.at({t, c, 0}));
+        adj_cnt += 1.0;
+      }
+      const auto c2 = static_cast<std::int64_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(spec.nodes)));
+      rnd_diff += std::fabs(raw.at({t, r, 0}) - raw.at({t, c2, 0}));
+      rnd_cnt += 1.0;
+    }
+  }
+  EXPECT_LT(adj_diff / adj_cnt, rnd_diff / rnd_cnt);
+}
+
+// --------------------------------------------------------- preprocessing
+
+TEST(TimeFeature, AppendedForTraffic) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 7);
+  Tensor stage1 = add_time_feature(raw, spec);
+  ASSERT_EQ(stage1.shape(), (Shape{spec.entries, spec.nodes, 2}));
+  // Feature 1 is time-of-day in [0, 1), periodic.
+  EXPECT_EQ(stage1.at({0, 0, 1}), 0.0f);
+  const std::int64_t p = spec.steps_per_period;
+  if (spec.entries > p) {
+    EXPECT_EQ(stage1.at({p, 0, 1}), 0.0f);
+    EXPECT_NEAR(stage1.at({p / 2, 0, 1}), 0.5f, 1.0f / static_cast<float>(p));
+  }
+}
+
+TEST(TimeFeature, SkippedForSingleFeatureDatasets) {
+  DatasetSpec spec = spec_for(DatasetKind::kWindmillLarge).scaled(16);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 8);
+  Tensor stage1 = add_time_feature(raw, spec);
+  EXPECT_EQ(stage1.size(2), 1);
+}
+
+TEST(Scaler, NormalizesTrainRange) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 9);
+  Tensor stage1 = add_time_feature(raw, spec);
+  StandardScaler sc = fit_scaler(stage1, spec);
+  EXPECT_GT(sc.stddev, 0.0);
+  // transform/inverse round trip.
+  EXPECT_NEAR(sc.inverse(sc.transform(57.5f)), 57.5f, 1e-3f);
+}
+
+TEST(Scaler, TrainSplitIs70Percent) {
+  const SplitRanges r = split_ranges(1000);
+  EXPECT_EQ(r.train_begin, 0);
+  EXPECT_EQ(r.train_end, 700);
+  EXPECT_EQ(r.val_end, 800);
+  EXPECT_EQ(r.test_end, 1000);
+}
+
+TEST(StandardPreprocess, ShapesFollowAlgorithm1) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 6;
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 10);
+  StandardDataset ds(raw, spec);
+  const std::int64_t s = spec.num_snapshots();
+  EXPECT_EQ(ds.x().shape(), (Shape{s, 6, spec.nodes, 2}));
+  EXPECT_EQ(ds.y().shape(), (Shape{s, 6, spec.nodes, 2}));
+}
+
+TEST(StandardPreprocess, YIsXShiftedByHorizon) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 11);
+  StandardDataset ds(raw, spec);
+  // x[i + horizon] == y[i] (same underlying entries).
+  const auto [xi, yi] = ds.get(3);
+  const auto [xj, yj] = ds.get(3 + spec.horizon);
+  EXPECT_EQ(ops::max_abs_diff(yi.contiguous(), xj.contiguous()), 0.0f);
+}
+
+TEST(StandardPreprocess, MetricFeatureIsStandardized) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 12);
+  StandardDataset ds(raw, spec);
+  // Mean of the standardized metric over the training x-range ~ 0.
+  double sum = 0.0;
+  std::int64_t cnt = 0;
+  const std::int64_t train_end = ds.splits().train_end;
+  for (std::int64_t i = 0; i < train_end; i += 5) {
+    const auto [x, y] = ds.get(i);
+    Tensor xc = x.contiguous();
+    const float* p = xc.data();
+    for (std::int64_t j = 0; j < xc.numel(); j += 2) {
+      sum += p[j];
+      ++cnt;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(cnt), 0.0, 0.1);
+}
+
+TEST(StandardPreprocess, SeriesTooShortThrows) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.entries = spec.horizon;  // not even one window pair
+  Tensor raw = Tensor::zeros({spec.entries, spec.nodes, 1});
+  EXPECT_THROW(StandardDataset(raw, spec), std::invalid_argument);
+}
+
+TEST(PaddedPreprocess, PadsToBatchMultiple) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  spec.batch_size = 32;
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 13);
+  PaddedStandardDataset ds(raw, spec);
+  EXPECT_EQ(ds.padded_snapshots() % 32, 0);
+  EXPECT_GE(ds.padded_snapshots(), ds.num_snapshots());
+  // Padding repeats the final sample.
+  const auto [last_x, last_y] = ds.base().get(ds.num_snapshots() - 1);
+  const auto [pad_x, pad_y] = ds.get(ds.padded_snapshots() - 1);
+  EXPECT_EQ(ops::max_abs_diff(last_x.contiguous(), pad_x.contiguous()), 0.0f);
+}
+
+TEST(PaddedPreprocess, SteadyStateFootprintRoughlyDoubles) {
+  // The padded loader keeps batch-aligned copies IN ADDITION to the
+  // original arrays (paper §3.2), so its resident footprint after
+  // preprocessing is ~2x the plain standard pipeline's.  (Both share
+  // the same transient stack spike, so peaks alone don't separate them.)
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 14);
+  auto& tracker = MemoryTracker::instance();
+
+  const std::size_t base = tracker.current(kHostSpace);
+  std::size_t std_resident, pad_resident;
+  {
+    StandardDataset ds(raw, spec);
+    std_resident = tracker.current(kHostSpace) - base;
+  }
+  {
+    PaddedStandardDataset ds(raw, spec);
+    pad_resident = tracker.current(kHostSpace) - base;
+  }
+  EXPECT_GT(static_cast<double>(pad_resident), 1.8 * static_cast<double>(std_resident));
+}
+
+}  // namespace
+}  // namespace pgti::data

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+TEST(PcieModel, TransferTimeHasLatencyFloor) {
+  PcieModel model;
+  EXPECT_GE(model.transfer_seconds(0), model.latency_s);
+  EXPECT_GT(model.transfer_seconds(1 << 30), model.transfer_seconds(1 << 20));
+}
+
+TEST(PcieModel, BandwidthTermDominatesLargeTransfers) {
+  PcieModel model;
+  const double t = model.transfer_seconds(16'000'000'000LL);
+  EXPECT_NEAR(t, 1.0, 0.01);  // 16 GB at 16 GB/s
+}
+
+TEST(SimDevice, UploadMovesDataAndRecords) {
+  SimDevice& gpu = DeviceManager::instance().gpu(4);
+  gpu.reset_stats();
+  Tensor host = Tensor::arange(100);
+  Tensor dev = gpu.upload(host);
+  EXPECT_EQ(dev.space(), gpu.space());
+  EXPECT_EQ(dev.at({42}), 42.0f);
+  const TransferStats s = gpu.stats();
+  EXPECT_EQ(s.h2d_count, 1u);
+  EXPECT_EQ(s.h2d_bytes, 400u);
+  EXPECT_GT(s.modeled_seconds, 0.0);
+}
+
+TEST(SimDevice, DownloadRoundTrip) {
+  SimDevice& gpu = DeviceManager::instance().gpu(4);
+  gpu.reset_stats();
+  Tensor host = Tensor::arange(64);
+  Tensor dev = gpu.upload(host);
+  Tensor back = gpu.download(dev);
+  EXPECT_EQ(back.space(), kHostSpace);
+  EXPECT_EQ(ops::max_abs_diff(host, back), 0.0f);
+  EXPECT_EQ(gpu.stats().d2h_count, 1u);
+}
+
+TEST(SimDevice, UploadIntoReusesBuffer) {
+  SimDevice& gpu = DeviceManager::instance().gpu(4);
+  Tensor dev = Tensor::zeros({32}, gpu.space());
+  gpu.reset_stats();
+  Tensor host = Tensor::arange(32);
+  const std::size_t before = MemoryTracker::instance().current(gpu.space());
+  gpu.upload_into(host, dev);
+  EXPECT_EQ(MemoryTracker::instance().current(gpu.space()), before);
+  EXPECT_EQ(dev.at({31}), 31.0f);
+  EXPECT_EQ(gpu.stats().h2d_count, 1u);
+}
+
+TEST(SimDevice, CapacityEnforced) {
+  SimDevice& gpu = DeviceManager::instance().gpu(5);
+  gpu.set_capacity(256);
+  EXPECT_THROW(Tensor::zeros({1000}, gpu.space()), OutOfMemoryError);
+  EXPECT_NO_THROW(Tensor::zeros({16}, gpu.space()));
+  gpu.set_capacity(0);
+}
+
+TEST(SimDevice, DeviceMemoryTrackedSeparatelyFromHost) {
+  SimDevice& gpu = DeviceManager::instance().gpu(4);
+  const std::size_t host_before = MemoryTracker::instance().current(kHostSpace);
+  const std::size_t dev_before = MemoryTracker::instance().current(gpu.space());
+  {
+    Tensor dev = Tensor::zeros({1024}, gpu.space());
+    EXPECT_EQ(MemoryTracker::instance().current(kHostSpace), host_before);
+    EXPECT_EQ(MemoryTracker::instance().current(gpu.space()), dev_before + 4096);
+  }
+  EXPECT_EQ(MemoryTracker::instance().current(gpu.space()), dev_before);
+}
+
+TEST(DeviceManager, DevicesArePersistentSingletons) {
+  SimDevice& a = DeviceManager::instance().gpu(6);
+  SimDevice& b = DeviceManager::instance().gpu(6);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "gpu6");
+  EXPECT_GE(DeviceManager::instance().device_count(), 7);
+}
+
+TEST(SimDevice, ModeledSecondsAccumulate) {
+  SimDevice& gpu = DeviceManager::instance().gpu(4);
+  gpu.reset_stats();
+  Tensor host = Tensor::zeros({1 << 20});
+  gpu.upload(host);
+  const double one = gpu.stats().modeled_seconds;
+  gpu.upload(host);
+  EXPECT_NEAR(gpu.stats().modeled_seconds, 2.0 * one, 1e-12);
+}
+
+TEST(SimDevice, CustomPcieModel) {
+  SimDevice& gpu = DeviceManager::instance().gpu(7);
+  PcieModel slow;
+  slow.bandwidth_bytes_per_s = 1.0e6;
+  slow.latency_s = 0.0;
+  gpu.set_pcie(slow);
+  gpu.reset_stats();
+  gpu.upload(Tensor::zeros({250'000}));  // 1 MB at 1 MB/s
+  EXPECT_NEAR(gpu.stats().modeled_seconds, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pgti

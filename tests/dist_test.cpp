@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "dist/cluster_model.h"
+#include "dist/comm.h"
+#include "dist/ddp.h"
+#include "dist/dist_store.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti::dist {
+namespace {
+
+// --------------------------------------------------------------- comm
+
+TEST(Cluster, RunsEveryRankOnce) {
+  Cluster cluster(4);
+  std::atomic<int> count{0};
+  std::array<std::atomic<bool>, 4> seen{};
+  cluster.run([&](Communicator& comm) {
+    seen[static_cast<std::size_t>(comm.rank())] = true;
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 4);
+  for (const auto& s : seen) EXPECT_TRUE(s.load());
+}
+
+TEST(Cluster, PropagatesWorkerException) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+                 if (comm.rank() == 0) return;
+                 throw std::runtime_error("worker died");
+               }),
+               std::runtime_error);
+}
+
+TEST(Cluster, WorkerDeathDoesNotDeadlockPeersInCollectives) {
+  // Rank 2 dies before the collective; the others must unwind via
+  // PeerFailureError instead of blocking at the barrier forever, and
+  // run() must rethrow the ORIGINAL error.
+  Cluster cluster(4);
+  try {
+    cluster.run([](Communicator& comm) {
+      if (comm.rank() == 2) throw std::runtime_error("oom in worker 2");
+      float v = 1.0f;
+      for (int i = 0; i < 100; ++i) comm.allreduce_sum(&v, 1);
+    });
+    FAIL() << "expected the worker error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "oom in worker 2");
+  }
+}
+
+TEST(Cluster, MidTrainingDeathUnwindsCleanly) {
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+                 float v = static_cast<float>(comm.rank());
+                 for (int step = 0;; ++step) {
+                   comm.allreduce_sum(&v, 1);
+                   if (step == 5 && comm.rank() == 1) {
+                     throw std::runtime_error("died at step 5");
+                   }
+                 }
+               }),
+               std::runtime_error);
+}
+
+class AllreduceWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceWorlds, SumsAcrossRanks) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<float>(comm.rank() + 1);
+    }
+    comm.allreduce_sum(data.data(), static_cast<std::int64_t>(data.size()));
+    const float expected = static_cast<float>(w * (w + 1) / 2);
+    for (float v : data) ASSERT_EQ(v, expected);
+  });
+}
+
+TEST_P(AllreduceWorlds, MeanDividesByWorld) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(8, static_cast<float>(comm.rank()));
+    comm.allreduce_mean(data.data(), 8);
+    const float expected = static_cast<float>(w - 1) / 2.0f;
+    for (float v : data) ASSERT_NEAR(v, expected, 1e-6f);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, AllreduceWorlds, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Comm, AllreduceBitIdenticalAcrossRanks) {
+  // Rank-ordered accumulation: every rank must see the same bits even
+  // for values where float addition order matters.
+  Cluster cluster(4);
+  std::array<std::vector<float>, 4> results;
+  cluster.run([&](Communicator& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+    std::vector<float> data(128);
+    for (auto& v : data) v = static_cast<float>(rng.normal()) * 1e4f;
+    comm.allreduce_sum(data.data(), 128);
+    results[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  for (int r = 1; r < 4; ++r) {
+    ASSERT_EQ(results[0], results[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Comm, ScalarSum) {
+  Cluster cluster(5);
+  cluster.run([&](Communicator& comm) {
+    const double total = comm.allreduce_scalar_sum(static_cast<double>(comm.rank()));
+    ASSERT_DOUBLE_EQ(total, 10.0);
+  });
+}
+
+TEST(Comm, BroadcastFromRoot) {
+  Cluster cluster(4);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(16, comm.rank() == 2 ? 7.5f : 0.0f);
+    comm.broadcast(data.data(), 16, /*root=*/2);
+    for (float v : data) ASSERT_EQ(v, 7.5f);
+  });
+}
+
+TEST(Comm, AllgatherOrdersByRank) {
+  Cluster cluster(3);
+  cluster.run([&](Communicator& comm) {
+    const auto all = comm.allgather(static_cast<double>(comm.rank() * 10));
+    ASSERT_EQ(all.size(), 3u);
+    for (int r = 0; r < 3; ++r) ASSERT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 10.0);
+  });
+}
+
+TEST(Comm, StatsAndModeledTime) {
+  Cluster cluster(4);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(256, 1.0f);
+    comm.allreduce_sum(data.data(), 256);
+    comm.allreduce_sum(data.data(), 256);
+  });
+  const CommStats stats = cluster.stats();
+  EXPECT_EQ(stats.allreduce_count, 2u);
+  EXPECT_EQ(stats.allreduce_bytes, 2u * 256 * 4 * 4);
+  EXPECT_GT(cluster.modeled_comm_seconds(), 0.0);
+}
+
+TEST(Comm, RepeatedCollectivesStressBarrier) {
+  Cluster cluster(8);
+  cluster.run([&](Communicator& comm) {
+    float v = static_cast<float>(comm.rank());
+    for (int i = 0; i < 200; ++i) {
+      float x = v;
+      comm.allreduce_sum(&x, 1);
+      ASSERT_EQ(x, 28.0f);  // 0+..+7
+      comm.barrier();
+    }
+  });
+}
+
+// -------------------------------------------------------------- network model
+
+TEST(NetworkModel, AllreduceGrowsWithBytes) {
+  NetworkModel net;
+  EXPECT_LT(net.allreduce_seconds(1024, 4), net.allreduce_seconds(1 << 20, 4));
+}
+
+TEST(NetworkModel, SingleWorkerIsFree) {
+  NetworkModel net;
+  EXPECT_EQ(net.allreduce_seconds(1 << 20, 1), 0.0);
+}
+
+TEST(NetworkModel, InterNodeSlowerThanIntra) {
+  NetworkModel net;
+  EXPECT_GT(net.allreduce_seconds(1 << 24, 8),   // crosses nodes
+            net.allreduce_seconds(1 << 24, 4));  // single node
+}
+
+TEST(NetworkModel, RingAsymptoteBoundedBy2x) {
+  // Ring all-reduce moves at most 2x the buffer regardless of W.
+  NetworkModel net;
+  net.latency_s = 0.0;
+  const double t128 = net.allreduce_seconds(1 << 20, 128);
+  const double bound = 2.0 * static_cast<double>(1 << 20) / net.effective_bw(128);
+  EXPECT_LE(t128, bound * 1.001);
+}
+
+// ------------------------------------------------------------------- store
+
+TEST(DistStore, ContiguousOwnership) {
+  DistStore store(100, 1000, 4, NetworkModel{});
+  EXPECT_EQ(store.owner(0), 0);
+  EXPECT_EQ(store.owner(24), 0);
+  EXPECT_EQ(store.owner(25), 1);
+  EXPECT_EQ(store.owner(99), 3);
+  EXPECT_THROW(store.owner(100), std::out_of_range);
+  const auto [lo, hi] = store.partition(2);
+  EXPECT_EQ(lo, 50);
+  EXPECT_EQ(hi, 75);
+}
+
+TEST(DistStore, LocalFetchesAreFree) {
+  DistStore store(100, 1000, 4, NetworkModel{});
+  const double s = store.fetch_batch(0, {0, 1, 2, 24});
+  EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(store.stats().remote_snapshots, 0u);
+  EXPECT_EQ(store.stats().local_snapshots, 4u);
+}
+
+TEST(DistStore, RemoteFetchesCountBytes) {
+  DistStore store(100, 1000, 4, NetworkModel{});
+  store.fetch_batch(0, {30, 31, 60});
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.remote_snapshots, 3u);
+  EXPECT_EQ(st.remote_bytes, 3000u);
+  EXPECT_GT(st.modeled_seconds, 0.0);
+}
+
+TEST(DistStore, ConsolidatedRequestsOnePerOwner) {
+  DistStore store(100, 1000, 4, NetworkModel{}, /*consolidate=*/true);
+  store.fetch_batch(0, {30, 31, 32, 60, 61});  // owners 1 and 2
+  EXPECT_EQ(store.stats().request_messages, 2u);
+}
+
+TEST(DistStore, PerItemRequestsWithoutConsolidation) {
+  DistStore store(100, 1000, 4, NetworkModel{}, /*consolidate=*/false);
+  store.fetch_batch(0, {30, 31, 32, 60, 61});
+  EXPECT_EQ(store.stats().request_messages, 5u);
+}
+
+TEST(DistStore, ConsolidationIsCheaper) {
+  // The paper's baseline optimization: batch requests beat per-item.
+  NetworkModel net;
+  DistStore batched(10000, 100000, 8, net, true);
+  DistStore per_item(10000, 100000, 8, net, false);
+  std::vector<std::int64_t> batch;
+  for (std::int64_t i = 5000; i < 5064; ++i) batch.push_back(i);
+  const double t_batched = batched.fetch_batch(0, batch);
+  const double t_item = per_item.fetch_batch(0, batch);
+  EXPECT_LT(t_batched, t_item);
+}
+
+// ---------------------------------------------------------------- DDP bucket
+
+TEST(GradBucket, AveragesGradientsAcrossRanks) {
+  Cluster cluster(4);
+  cluster.run([&](Communicator& comm) {
+    Variable p(Tensor::zeros({8}), true);
+    p.grad().fill_(static_cast<float>(comm.rank()));
+    std::vector<Variable> params{p};
+    GradBucket bucket(params);
+    bucket.allreduce_average(comm, params);
+    for (std::int64_t i = 0; i < 8; ++i) ASSERT_NEAR(p.grad().at({i}), 1.5f, 1e-6f);
+  });
+}
+
+TEST(GradBucket, HandlesMissingGrads) {
+  Cluster cluster(2);
+  cluster.run([&](Communicator& comm) {
+    Variable with(Tensor::zeros({4}), true);
+    Variable without(Tensor::zeros({4}), true);
+    with.grad().fill_(2.0f);
+    std::vector<Variable> params{with, without};
+    GradBucket bucket(params);
+    EXPECT_EQ(bucket.numel(), 8);
+    bucket.allreduce_average(comm, params);
+    ASSERT_NEAR(with.grad().at({0}), 2.0f, 1e-6f);
+    ASSERT_EQ(without.grad().at({0}), 0.0f);
+  });
+}
+
+TEST(Ddp, DistributedGradEqualsLargeBatchGrad) {
+  // The DDP invariant: averaging per-worker gradients over disjoint
+  // half-batches equals the gradient of the full batch.
+  Rng rng(77);
+  Tensor x_full = Tensor::randn({8, 4}, rng);
+  Tensor target = Tensor::randn({8, 2}, rng);
+  Tensor w_init = Tensor::randn({4, 2}, rng);
+
+  // Reference: single worker, full batch.
+  Variable w_ref(w_init.clone(), true);
+  ag::mse_loss(ag::matmul(Variable(x_full, false), w_ref), target).backward();
+
+  // Two workers, half batches each.
+  Tensor dist_grad;
+  Cluster cluster(2);
+  cluster.run([&](Communicator& comm) {
+    const std::int64_t lo = comm.rank() * 4;
+    Variable w(w_init.clone(), true);
+    Tensor xb = x_full.slice(0, lo, 4).clone();
+    Tensor yb = target.slice(0, lo, 4).clone();
+    ag::mse_loss(ag::matmul(Variable(xb, false), w), yb).backward();
+    std::vector<Variable> params{w};
+    allreduce_gradients(comm, params);
+    if (comm.rank() == 0) dist_grad = w.grad().clone();
+  });
+  EXPECT_LT(ops::max_abs_diff(dist_grad, w_ref.grad()), 1e-5f);
+}
+
+TEST(Ddp, BroadcastParametersSynchronizesReplicas) {
+  Cluster cluster(3);
+  cluster.run([&](Communicator& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank() + 100));
+    Variable p(Tensor::randn({16}, rng), true);
+    std::vector<Variable> params{p};
+    broadcast_parameters(comm, params, 0);
+    const double sum = ops::sum(p.value());
+    const auto all = comm.allgather(sum);
+    for (double v : all) ASSERT_DOUBLE_EQ(v, all[0]);
+  });
+}
+
+// ----------------------------------------------------------- cluster model
+
+ClusterModelParams pems_like_params() {
+  ClusterModelParams p;
+  p.train_samples = 73560;
+  p.batch_per_worker = 64;
+  p.model_parameters = 250000;
+  p.sample_bytes = 2 * 12 * 11126 * 2 * 4;
+  p.dataset_bytes = static_cast<std::int64_t>(105120) * 11126 * 2 * 4;
+  p.epochs = 30;
+  p.t_sample = 333.58 * 60.0 / 30.0 / 73560.0;  // Table 4 calibration
+  return p;
+}
+
+TEST(ClusterModel, DistIndexHasZeroDataComm) {
+  ClusterModel model(pems_like_params());
+  const ScalingPoint pt = model.evaluate(32, DistStrategy::kDistributedIndex);
+  EXPECT_EQ(pt.data_comm_s, 0.0);
+  EXPECT_GT(pt.compute_s, 0.0);
+}
+
+TEST(ClusterModel, ComputeScalesInverselyWithWorld) {
+  ClusterModel model(pems_like_params());
+  const double c4 = model.evaluate(4, DistStrategy::kDistributedIndex).compute_s;
+  const double c64 = model.evaluate(64, DistStrategy::kDistributedIndex).compute_s;
+  EXPECT_NEAR(c4 / c64, 16.0, 1.0);
+}
+
+TEST(ClusterModel, DdpSlowerThanDistIndexEverywhere) {
+  ClusterModel model(pems_like_params());
+  for (int w : {4, 8, 16, 32, 64, 128}) {
+    const double ddp = model.evaluate(w, DistStrategy::kBaselineDdp).total_s();
+    const double idx = model.evaluate(w, DistStrategy::kDistributedIndex).total_s();
+    EXPECT_GT(ddp, idx) << "w=" << w;
+  }
+}
+
+TEST(ClusterModel, SpeedupGapWidensWithScale) {
+  // Paper: 2.16x at 4 GPUs -> 11.78x at 128 GPUs.
+  ClusterModel model(pems_like_params());
+  const double r4 = model.evaluate(4, DistStrategy::kBaselineDdp).total_s() /
+                    model.evaluate(4, DistStrategy::kDistributedIndex).total_s();
+  const double r128 = model.evaluate(128, DistStrategy::kBaselineDdp).total_s() /
+                      model.evaluate(128, DistStrategy::kDistributedIndex).total_s();
+  EXPECT_GT(r128, r4);
+}
+
+TEST(ClusterModel, GeneralizedIndexMovesLessDataThanDdp) {
+  ClusterModel model(pems_like_params());
+  for (int w : {4, 32, 128}) {
+    EXPECT_LT(model.evaluate(w, DistStrategy::kGeneralizedIndex).data_comm_s,
+              model.evaluate(w, DistStrategy::kBaselineDdpBatchShuffle).data_comm_s)
+        << "w=" << w;
+  }
+}
+
+TEST(ClusterModel, IndexPreprocessConstantDdpGrows) {
+  ClusterModel model(pems_like_params());
+  EXPECT_EQ(model.evaluate(4, DistStrategy::kDistributedIndex).preprocess_s,
+            model.evaluate(128, DistStrategy::kDistributedIndex).preprocess_s);
+  EXPECT_GT(model.evaluate(128, DistStrategy::kBaselineDdp).preprocess_s,
+            model.evaluate(4, DistStrategy::kBaselineDdp).preprocess_s);
+}
+
+TEST(ClusterModel, StrongScalingSublinearAtHighWorld) {
+  // Fixed costs erode efficiency at 128 GPUs (paper §5.3.1).
+  ClusterModel model(pems_like_params());
+  const double t1 = model.evaluate(1, DistStrategy::kDistributedIndex).total_s();
+  const double t128 = model.evaluate(128, DistStrategy::kDistributedIndex).total_s();
+  const double speedup = t1 / t128;
+  EXPECT_GT(speedup, 40.0);
+  EXPECT_LT(speedup, 128.0);
+}
+
+}  // namespace
+}  // namespace pgti::dist

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/csr.h"
+#include "graph/spatial.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+TEST(Csr, FromCooBasics) {
+  Csr m = Csr::from_coo(2, 3, {{0, 1, 2.0f}, {1, 0, 3.0f}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 2);
+  Tensor d = m.to_dense();
+  EXPECT_EQ(d.at({0, 1}), 2.0f);
+  EXPECT_EQ(d.at({1, 0}), 3.0f);
+  EXPECT_EQ(d.at({0, 0}), 0.0f);
+}
+
+TEST(Csr, DuplicatesSummed) {
+  Csr m = Csr::from_coo(1, 1, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.to_dense().at({0, 0}), 3.5f);
+}
+
+TEST(Csr, OutOfBoundsEntryThrows) {
+  EXPECT_THROW(Csr::from_coo(2, 2, {{2, 0, 1.0f}}), std::out_of_range);
+}
+
+TEST(Csr, Identity) {
+  Csr i = Csr::identity(3);
+  Rng rng(1);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  EXPECT_LT(ops::max_abs_diff(i.spmm(x), x), 1e-7f);
+}
+
+TEST(Csr, TransposeCorrect) {
+  Csr m = Csr::from_coo(2, 3, {{0, 2, 5.0f}, {1, 1, 7.0f}});
+  Csr t = m.transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.to_dense().at({2, 0}), 5.0f);
+  EXPECT_EQ(t.to_dense().at({1, 1}), 7.0f);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  Csr m = Csr::from_coo(3, 3, {{0, 1, 1.0f}, {1, 2, 2.0f}, {2, 0, 3.0f}});
+  EXPECT_LT(ops::max_abs_diff(m.transpose().transpose().to_dense(), m.to_dense()), 0.0f + 1e-9f);
+}
+
+TEST(Csr, RowNormalizedIsStochastic) {
+  Csr m = Csr::from_coo(3, 3,
+                        {{0, 0, 2.0f}, {0, 1, 2.0f}, {1, 2, 5.0f}, {2, 0, 1.0f},
+                         {2, 1, 1.0f}, {2, 2, 2.0f}});
+  const auto sums = m.row_normalized().row_sums();
+  for (float s : sums) EXPECT_NEAR(s, 1.0f, 1e-6f);
+}
+
+TEST(Csr, RowNormalizedKeepsZeroRows) {
+  Csr m = Csr::from_coo(2, 2, {{0, 0, 3.0f}});
+  const auto sums = m.row_normalized().row_sums();
+  EXPECT_NEAR(sums[0], 1.0f, 1e-6f);
+  EXPECT_EQ(sums[1], 0.0f);
+}
+
+TEST(Csr, SpmmMatchesDense) {
+  Csr m = Csr::from_coo(3, 4, {{0, 0, 1.0f}, {0, 3, 2.0f}, {1, 1, 3.0f}, {2, 2, 4.0f}});
+  Rng rng(2);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  EXPECT_LT(ops::max_abs_diff(m.spmm(x), ops::matmul(m.to_dense(), x)), 1e-5f);
+}
+
+TEST(Csr, SpmmShapeChecked) {
+  Csr m = Csr::identity(3);
+  EXPECT_THROW(m.spmm(Tensor::zeros({4, 2})), std::invalid_argument);
+  EXPECT_THROW(m.spmm_batched(Tensor::zeros({2, 4, 2})), std::invalid_argument);
+}
+
+TEST(Csr, SpmmBatchedMatchesPerItem) {
+  Csr m = Csr::from_coo(3, 3, {{0, 1, 0.5f}, {1, 0, 0.5f}, {2, 2, 1.0f}});
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 3, 2}, rng);
+  Tensor batched = m.spmm_batched(x);
+  for (std::int64_t b = 0; b < 4; ++b) {
+    Tensor single = m.spmm(x.select(0, b).contiguous());
+    EXPECT_LT(ops::max_abs_diff(batched.select(0, b).contiguous(), single), 1e-6f);
+  }
+}
+
+// --------------------------------------------------------------- spatial
+
+TEST(SensorNetwork, DeterministicInSeed) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = 30;
+  opt.seed = 5;
+  SensorNetwork a = build_sensor_network(opt);
+  SensorNetwork b = build_sensor_network(opt);
+  EXPECT_EQ(a.adjacency.nnz(), b.adjacency.nnz());
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(SensorNetwork, HasSelfLoopsAndNeighbors) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = 20;
+  opt.k_neighbors = 4;
+  SensorNetwork net = build_sensor_network(opt);
+  Tensor d = net.adjacency.to_dense();
+  for (std::int64_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(d.at({i, i}), 1.0f, 1e-6f);  // self distance 0 -> weight 1
+  }
+  EXPECT_GT(net.adjacency.nnz(), 20);  // more than just self loops
+}
+
+TEST(SensorNetwork, WeightsDecayWithDistance) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = 50;
+  opt.seed = 9;
+  SensorNetwork net = build_sensor_network(opt);
+  // Every off-diagonal weight equals exp(-d^2/sigma^2) for its edge.
+  const float sigma2 = opt.kernel_sigma * opt.kernel_sigma;
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t k = net.adjacency.row_ptr()[static_cast<std::size_t>(r)];
+         k < net.adjacency.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int64_t c = net.adjacency.col_idx()[static_cast<std::size_t>(k)];
+      const float dx = net.x[static_cast<std::size_t>(r)] - net.x[static_cast<std::size_t>(c)];
+      const float dy = net.y[static_cast<std::size_t>(r)] - net.y[static_cast<std::size_t>(c)];
+      const float expected = std::exp(-(dx * dx + dy * dy) / sigma2);
+      EXPECT_NEAR(net.adjacency.values()[static_cast<std::size_t>(k)], expected, 1e-5f);
+    }
+  }
+}
+
+TEST(SensorNetwork, ThresholdDropsWeakEdges) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = 40;
+  opt.weight_threshold = 0.5f;
+  SensorNetwork net = build_sensor_network(opt);
+  for (float v : net.adjacency.values()) EXPECT_GE(v, 0.5f);
+}
+
+TEST(Supports, DualRandomWalkAreStochastic) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = 25;
+  SensorNetwork net = build_sensor_network(opt);
+  const auto supports = dual_random_walk_supports(net.adjacency);
+  ASSERT_EQ(supports.size(), 2u);
+  for (const Csr& s : supports) {
+    for (float sum : s.row_sums()) {
+      if (sum != 0.0f) {
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(Supports, SymNormSymmetricForSymmetricInput) {
+  // Build a symmetric adjacency and verify D^-1/2 (W+I) D^-1/2 symmetry.
+  Csr w = Csr::from_coo(3, 3, {{0, 1, 2.0f}, {1, 0, 2.0f}, {1, 2, 1.0f}, {2, 1, 1.0f}});
+  Tensor d = sym_norm_adjacency(w).to_dense();
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(d.at({i, j}), d.at({j, i}), 1e-6f);
+    }
+  }
+}
+
+TEST(Supports, SymNormEigenvaluesBounded) {
+  // Power iteration: spectral radius of sym-norm adjacency is <= 1.
+  SensorNetworkOptions opt;
+  opt.num_nodes = 30;
+  SensorNetwork net = build_sensor_network(opt);
+  Csr a = sym_norm_adjacency(net.adjacency);
+  Rng rng(7);
+  Tensor v = Tensor::randn({30, 1}, rng);
+  for (int it = 0; it < 50; ++it) {
+    v = a.spmm(v);
+    const float norm = std::sqrt(static_cast<float>(ops::sum(ops::mul(v, v))));
+    ASSERT_GT(norm, 0.0f);
+    ops::scale_(v, 1.0f / norm);
+  }
+  Tensor av = a.spmm(v);
+  const float lambda = static_cast<float>(ops::sum(ops::mul(v, av)));
+  EXPECT_LE(std::fabs(lambda), 1.0f + 1e-3f);
+}
+
+class SupportSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SupportSizes, TransitionPreservesConstantVector) {
+  // Row-stochastic P maps the all-ones vector to itself.
+  SensorNetworkOptions opt;
+  opt.num_nodes = GetParam();
+  SensorNetwork net = build_sensor_network(opt);
+  Csr p = net.adjacency.row_normalized();
+  Tensor ones = Tensor::ones({GetParam(), 1});
+  EXPECT_LT(ops::max_abs_diff(p.spmm(ones), ones), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SupportSizes, ::testing::Values(8, 16, 64, 128));
+
+}  // namespace
+}  // namespace pgti

@@ -1,0 +1,229 @@
+// Cross-module integration and property sweeps over the public API.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/pgt_i.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti::core {
+namespace {
+
+// ------------------------------------------------ pipeline-equality sweep
+
+struct PipelineCase {
+  data::DatasetKind kind;
+  double scale;
+  std::int64_t horizon;
+  ModelKind model;
+};
+
+class PipelineEquality : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquality, AllBatchingModesTrainIdentically) {
+  const PipelineCase pc = GetParam();
+  TrainConfig cfg;
+  cfg.spec = data::spec_for(pc.kind).scaled(pc.scale);
+  cfg.spec.horizon = pc.horizon;
+  cfg.spec.batch_size = 8;
+  cfg.model = pc.model;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.num_layers = 1;
+  cfg.max_batches_per_epoch = 4;
+  cfg.max_val_batches = 2;
+  cfg.seed = 77;
+
+  cfg.mode = BatchingMode::kStandard;
+  TrainResult standard = Trainer(cfg).run();
+  cfg.mode = BatchingMode::kIndex;
+  TrainResult index = Trainer(cfg).run();
+  cfg.mode = BatchingMode::kGpuIndex;
+  TrainResult gpu = Trainer(cfg).run();
+
+  ASSERT_EQ(standard.curve.size(), index.curve.size());
+  for (std::size_t e = 0; e < standard.curve.size(); ++e) {
+    EXPECT_DOUBLE_EQ(standard.curve[e].train_mae, index.curve[e].train_mae);
+    EXPECT_NEAR(index.curve[e].train_mae, gpu.curve[e].train_mae, 1e-9);
+  }
+  EXPECT_LT(index.peak_host_bytes, standard.peak_host_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineEquality,
+    ::testing::Values(
+        PipelineCase{data::DatasetKind::kPemsBay, 64, 4, ModelKind::kPgtDcrnn},
+        PipelineCase{data::DatasetKind::kMetrLa, 32, 6, ModelKind::kPgtDcrnn},
+        PipelineCase{data::DatasetKind::kChickenpoxHungary, 1, 4, ModelKind::kA3tgcn},
+        PipelineCase{data::DatasetKind::kWindmillLarge, 16, 4, ModelKind::kPgtDcrnn},
+        PipelineCase{data::DatasetKind::kPemsBay, 64, 4, ModelKind::kStllm}));
+
+// ------------------------------------------------ distributed mode matrix
+
+class DistModeMatrix : public ::testing::TestWithParam<std::tuple<DistMode, int>> {};
+
+TEST_P(DistModeMatrix, TrainsAndAggregatesMetrics) {
+  const auto [mode, world] = GetParam();
+  DistConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 4;
+  cfg.spec.batch_size = 8;
+  cfg.mode = mode;
+  cfg.world = world;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 3;
+  cfg.max_val_batches = 2;
+  DistResult r = DistTrainer(cfg).run();
+  ASSERT_EQ(r.curve.size(), 2u);
+  for (const EpochMetrics& em : r.curve) {
+    EXPECT_GT(em.train_mae, 0.0);
+    EXPECT_GT(em.val_mae, 0.0);
+  }
+  if (world > 1) {
+    EXPECT_GT(r.comm.allreduce_count, 0u);
+  }
+  const bool store_mode = mode == DistMode::kBaselineDdp ||
+                          mode == DistMode::kBaselineDdpBatchShuffle;
+  if (store_mode && world > 1) {
+    EXPECT_GT(r.store.remote_snapshots, 0u);
+  } else {
+    EXPECT_EQ(r.store.remote_snapshots, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DistModeMatrix,
+    ::testing::Combine(::testing::Values(DistMode::kDistributedIndex,
+                                         DistMode::kBaselineDdp,
+                                         DistMode::kGeneralizedIndex,
+                                         DistMode::kBaselineDdpBatchShuffle),
+                       ::testing::Values(1, 2, 4)));
+
+// ------------------------------------------------------------ evaluation
+
+class EvaluationTest : public ::testing::Test {
+ protected:
+  EvaluationTest() {
+    spec_ = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+    spec_.horizon = 4;
+    net_ = data::network_for(spec_);
+    raw_ = data::generate_signal(spec_, net_, 5);
+    dataset_ = std::make_unique<data::IndexDataset>(raw_, spec_);
+    source_ = std::make_unique<data::IndexSource>(*dataset_);
+    bundle_ = make_model(ModelKind::kPgtDcrnn, spec_, net_, 8, 1, 1, 5);
+  }
+
+  data::DatasetSpec spec_;
+  SensorNetwork net_;
+  Tensor raw_;
+  std::unique_ptr<data::IndexDataset> dataset_;
+  std::unique_ptr<data::IndexSource> source_;
+  ModelBundle bundle_;
+};
+
+TEST_F(EvaluationTest, OneMetricPerPredictionStep) {
+  EvalOptions opt;
+  opt.batch_size = 8;
+  opt.max_batches = 3;
+  HorizonMetrics m = evaluate_horizon(*bundle_.model, *source_, 0, 100, opt);
+  ASSERT_EQ(m.mae.size(), 4u);
+  ASSERT_EQ(m.rmse.size(), 4u);
+  ASSERT_EQ(m.mape.size(), 4u);
+  EXPECT_EQ(m.samples, 24);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_GT(m.mae[t], 0.0);
+    EXPECT_GE(m.rmse[t], m.mae[t]) << "RMSE >= MAE always";
+    EXPECT_GT(m.mape[t], 0.0);
+  }
+}
+
+TEST_F(EvaluationTest, PerfectModelScoresZero) {
+  // Feed the targets back as "predictions" via a model-free check:
+  // evaluate a model against its own outputs is impossible here, so
+  // instead verify the metric math with a zero-error construction.
+  HorizonMetrics m;
+  m.mae = {0.0, 0.0};
+  m.rmse = {0.0, 0.0};
+  m.mape = {0.0, 0.0};
+  EXPECT_EQ(m.overall_mae(), 0.0);
+  EXPECT_EQ(m.overall_rmse(), 0.0);
+}
+
+TEST_F(EvaluationTest, ReportFormatsEveryStep) {
+  EvalOptions opt;
+  opt.batch_size = 8;
+  opt.max_batches = 2;
+  HorizonMetrics m = evaluate_horizon(*bundle_.model, *source_, 0, 50, opt);
+  const std::string report = format_horizon_report(m, 5.0);
+  EXPECT_NE(report.find("+5 min"), std::string::npos);
+  EXPECT_NE(report.find("+20 min"), std::string::npos);
+  EXPECT_NE(report.find("overall"), std::string::npos);
+}
+
+TEST_F(EvaluationTest, OverallRmseAggregatesPerStepMses) {
+  HorizonMetrics m;
+  m.rmse = {3.0, 4.0};
+  EXPECT_NEAR(m.overall_rmse(), std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+}
+
+// ------------------------------------------------------ training-loop invariants
+
+TEST(TrainingInvariants, DeterministicAcrossRuns) {
+  TrainConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 4;
+  cfg.spec.batch_size = 8;
+  cfg.mode = BatchingMode::kIndex;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 4;
+  cfg.max_val_batches = 2;
+  TrainResult a = Trainer(cfg).run();
+  TrainResult b = Trainer(cfg).run();
+  for (std::size_t e = 0; e < a.curve.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.curve[e].train_mae, b.curve[e].train_mae);
+    EXPECT_DOUBLE_EQ(a.curve[e].val_mae, b.curve[e].val_mae);
+  }
+}
+
+TEST(TrainingInvariants, SeedChangesTrajectory) {
+  TrainConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 4;
+  cfg.spec.batch_size = 8;
+  cfg.mode = BatchingMode::kIndex;
+  cfg.epochs = 1;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 4;
+  cfg.max_val_batches = 2;
+  cfg.seed = 1;
+  TrainResult a = Trainer(cfg).run();
+  cfg.seed = 2;
+  TrainResult b = Trainer(cfg).run();
+  EXPECT_NE(a.curve[0].train_mae, b.curve[0].train_mae);
+}
+
+TEST(TrainingInvariants, NoMemoryLeakAcrossRuns) {
+  auto& tracker = MemoryTracker::instance();
+  TrainConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 4;
+  cfg.spec.batch_size = 8;
+  cfg.mode = BatchingMode::kIndex;
+  cfg.epochs = 1;
+  cfg.hidden_dim = 8;
+  cfg.max_batches_per_epoch = 2;
+  cfg.max_val_batches = 1;
+  Trainer(cfg).run();  // warm-up (device singletons etc.)
+  const std::size_t before = tracker.current(kHostSpace);
+  for (int i = 0; i < 3; ++i) Trainer(cfg).run();
+  EXPECT_EQ(tracker.current(kHostSpace), before)
+      << "workflow must release every tracked allocation";
+}
+
+}  // namespace
+}  // namespace pgti::core

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "core/model_factory.h"
+#include "data/synthetic.h"
+#include "nn/a3tgcn.h"
+#include "nn/dcrnn.h"
+#include "nn/stllm.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+nn::GraphSupports small_supports(std::int64_t n, std::uint64_t seed = 7) {
+  SensorNetworkOptions opt;
+  opt.num_nodes = n;
+  opt.k_neighbors = 3;
+  opt.seed = seed;
+  SensorNetwork net = build_sensor_network(opt);
+  return nn::GraphSupports::from(dual_random_walk_supports(net.adjacency));
+}
+
+// ----------------------------------------------------------------- Module
+
+TEST(Module, ParameterRegistrationOrderStable) {
+  Rng rng(1);
+  nn::Linear lin(4, 3, rng);
+  auto named = lin.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(lin.parameter_count(), 4 * 3 + 3);
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  Rng rng(2);
+  nn::Linear lin(2, 2, rng);
+  Variable x(Tensor::ones({3, 2}), false);
+  ag::sum_all(lin.forward(x)).backward();
+  auto params = lin.parameters();
+  EXPECT_GT(ops::max_abs(params[0].grad()), 0.0f);
+  lin.zero_grad();
+  EXPECT_EQ(ops::max_abs(params[0].grad()), 0.0f);
+}
+
+TEST(Module, ToSpaceMovesParameters) {
+  auto& tracker = MemoryTracker::instance();
+  const MemorySpaceId space = tracker.register_space("nn-test-space");
+  Rng rng(3);
+  nn::Linear lin(4, 4, rng);
+  lin.to_space(space);
+  for (const Variable& p : lin.parameters()) EXPECT_EQ(p.value().space(), space);
+}
+
+// ----------------------------------------------------------------- Linear
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(4);
+  nn::Linear lin(3, 2, rng);
+  Variable x(Tensor::ones({1, 3}), false);
+  Tensor out = lin.forward(x).value();
+  auto named = lin.named_parameters();
+  const Tensor& w = named[0].second.value();
+  float expect0 = 0.0f;
+  for (std::int64_t i = 0; i < 3; ++i) expect0 += w.at({i, 0});
+  EXPECT_NEAR(out.at({0, 0}), expect0, 1e-5f);
+}
+
+TEST(Linear, RejectsWrongWidth) {
+  Rng rng(5);
+  nn::Linear lin(3, 2, rng);
+  Variable x(Tensor::ones({1, 4}), false);
+  EXPECT_THROW(lin.forward(x), std::invalid_argument);
+}
+
+TEST(Linear, DeterministicInit) {
+  Rng r1(9), r2(9);
+  nn::Linear a(5, 5, r1), b(5, 5, r2);
+  EXPECT_EQ(ops::max_abs_diff(a.parameters()[0].value(), b.parameters()[0].value()), 0.0f);
+}
+
+// ----------------------------------------------------------- DiffusionConv
+
+TEST(DiffusionConv, OutputShape) {
+  auto supports = small_supports(6);
+  Rng rng(6);
+  nn::DiffusionConv conv(3, 5, supports, 2, rng);
+  Variable x(Tensor::ones({2, 6, 3}), false);
+  Tensor out = conv.forward(x).value();
+  EXPECT_EQ(out.shape(), (Shape{2, 6, 5}));
+}
+
+TEST(DiffusionConv, ParamCountMatchesFormula) {
+  auto supports = small_supports(6);
+  Rng rng(7);
+  const int k = 2;
+  nn::DiffusionConv conv(3, 5, supports, k, rng);
+  // (1 + S*K) * Cin * Cout + Cout
+  EXPECT_EQ(conv.parameter_count(), (1 + 2 * k) * 3 * 5 + 5);
+}
+
+TEST(DiffusionConv, KZeroIsPlainLinear) {
+  auto supports = small_supports(4);
+  Rng rng(8);
+  nn::DiffusionConv conv(2, 3, supports, 0, rng);
+  // With K=0 only the identity term remains: out = x W + b per node.
+  EXPECT_EQ(conv.parameter_count(), 2 * 3 + 3);
+  Variable x(Tensor::ones({1, 4, 2}), false);
+  EXPECT_EQ(conv.forward(x).value().shape(), (Shape{1, 4, 3}));
+}
+
+TEST(DiffusionConv, GradCheckThroughGraph) {
+  auto supports = small_supports(4);
+  Rng rng(9);
+  nn::DiffusionConv conv(2, 2, supports, 1, rng);
+  Rng xr(10);
+  Variable x(Tensor::randn({1, 4, 2}, xr), true);
+  auto res = ag::gradcheck(
+      [&](const Variable& v) { return ag::mean_all(conv.forward(v)); }, x);
+  EXPECT_LT(res.max_rel_err, 2e-2);
+}
+
+TEST(DiffusionConv, RejectsWrongChannels) {
+  auto supports = small_supports(4);
+  Rng rng(11);
+  nn::DiffusionConv conv(2, 2, supports, 1, rng);
+  Variable x(Tensor::ones({1, 4, 3}), false);
+  EXPECT_THROW(conv.forward(x), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- DCGRU
+
+TEST(DCGRUCell, HiddenShapePreserved) {
+  auto supports = small_supports(5);
+  Rng rng(12);
+  nn::DCGRUCell cell(2, 8, supports, 2, rng);
+  Variable x(Tensor::ones({3, 5, 2}), false);
+  Variable h(Tensor::zeros({3, 5, 8}), false);
+  Tensor out = cell.forward(x, h).value();
+  EXPECT_EQ(out.shape(), (Shape{3, 5, 8}));
+}
+
+TEST(DCGRUCell, OutputBounded) {
+  // GRU state is a convex mix of tanh candidates: |h| <= 1 from zero init.
+  auto supports = small_supports(5);
+  Rng rng(13);
+  nn::DCGRUCell cell(2, 4, supports, 1, rng);
+  Rng xr(14);
+  Variable h(Tensor::zeros({2, 5, 4}), false);
+  for (int t = 0; t < 5; ++t) {
+    Variable x(Tensor::randn({2, 5, 2}, xr, 3.0f), false);
+    h = cell.forward(x, h);
+  }
+  EXPECT_LE(ops::max_abs(h.value()), 1.0f + 1e-5f);
+}
+
+TEST(DCGRUCell, GradFlowsToAllParams) {
+  auto supports = small_supports(4);
+  Rng rng(15);
+  nn::DCGRUCell cell(2, 3, supports, 1, rng);
+  Rng xr(16);
+  Variable x(Tensor::randn({1, 4, 2}, xr), false);
+  Variable h(Tensor::zeros({1, 4, 3}), false);
+  ag::mean_all(cell.forward(x, h)).backward();
+  for (Variable& p : cell.parameters()) {
+    EXPECT_TRUE(p.has_grad());
+    EXPECT_GT(ops::max_abs(p.grad()), 0.0f) << "dead parameter";
+  }
+}
+
+// --------------------------------------------------------------- PGTDCRNN
+
+TEST(PgtDcrnn, OneOutputPerInputStep) {
+  auto supports = small_supports(6);
+  nn::PgtDcrnnOptions opt;
+  opt.num_nodes = 6;
+  opt.input_dim = 2;
+  opt.hidden_dim = 8;
+  nn::PGTDCRNN model(opt, supports);
+  Rng xr(17);
+  Tensor x = Tensor::randn({2, 5, 6, 2}, xr);
+  auto outs = model.forward_seq(x);
+  ASSERT_EQ(outs.size(), 5u);
+  for (const Variable& o : outs) EXPECT_EQ(o.value().shape(), (Shape{2, 6, 1}));
+}
+
+TEST(PgtDcrnn, DeterministicForSeed) {
+  auto supports = small_supports(4);
+  nn::PgtDcrnnOptions opt;
+  opt.num_nodes = 4;
+  opt.seed = 77;
+  nn::PGTDCRNN a(opt, supports), b(opt, supports);
+  Rng xr(18);
+  Tensor x = Tensor::randn({1, 3, 4, 2}, xr);
+  EXPECT_EQ(ops::max_abs_diff(a.forward_seq(x)[2].value(), b.forward_seq(x)[2].value()),
+            0.0f);
+}
+
+TEST(PgtDcrnn, TrainingStepReducesLoss) {
+  auto supports = small_supports(5);
+  nn::PgtDcrnnOptions opt;
+  opt.num_nodes = 5;
+  opt.hidden_dim = 8;
+  nn::PGTDCRNN model(opt, supports);
+  Rng xr(19);
+  Tensor x = Tensor::randn({4, 4, 5, 2}, xr);
+  Tensor y = Tensor::randn({4, 4, 5, 1}, xr);
+  auto params = model.parameters();
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    auto outs = model.forward_seq(x);
+    Variable loss;
+    for (std::size_t t = 0; t < outs.size(); ++t) {
+      Variable l = ag::mse_loss(outs[t], y.select(1, static_cast<std::int64_t>(t)).contiguous());
+      loss = t == 0 ? l : ag::add(loss, l);
+    }
+    if (it == 0) first = loss.value().item();
+    last = loss.value().item();
+    model.zero_grad();
+    loss.backward();
+    for (Variable& p : params) {
+      ops::axpy_(-0.05f, p.grad(), p.mutable_value());
+    }
+  }
+  EXPECT_LT(last, first * 0.8) << "model failed to overfit a tiny batch";
+}
+
+// ------------------------------------------------------------------ DCRNN
+
+TEST(Dcrnn, DecoderEmitsHorizonSteps) {
+  auto supports = small_supports(5);
+  nn::DcrnnOptions opt;
+  opt.num_nodes = 5;
+  opt.horizon = 7;
+  opt.num_layers = 2;
+  opt.hidden_dim = 6;
+  nn::DCRNN model(opt, supports);
+  Rng xr(20);
+  Tensor x = Tensor::randn({2, 4, 5, 2}, xr);
+  auto outs = model.forward_seq(x);
+  ASSERT_EQ(outs.size(), 7u);
+  EXPECT_EQ(outs[0].value().shape(), (Shape{2, 5, 1}));
+}
+
+TEST(Dcrnn, DeeperThanPgtVariant) {
+  auto supports = small_supports(4);
+  nn::DcrnnOptions opt;
+  opt.num_nodes = 4;
+  opt.hidden_dim = 8;
+  nn::DCRNN full(opt, supports);
+  nn::PgtDcrnnOptions lite_opt;
+  lite_opt.num_nodes = 4;
+  lite_opt.hidden_dim = 8;
+  nn::PGTDCRNN lite(lite_opt, supports);
+  EXPECT_GT(full.parameter_count(), 2 * lite.parameter_count());
+}
+
+// ----------------------------------------------------------------- A3TGCN
+
+TEST(A3tgcn, AttentionWeightsSumToOne) {
+  std::vector<Csr> sym;
+  SensorNetworkOptions nopt;
+  nopt.num_nodes = 5;
+  SensorNetwork net = build_sensor_network(nopt);
+  sym.push_back(sym_norm_adjacency(net.adjacency));
+  auto supports = nn::GraphSupports::from(std::move(sym));
+  nn::A3tgcnOptions opt;
+  opt.num_nodes = 5;
+  opt.horizon = 4;
+  nn::A3TGCN model(opt, supports);
+  Rng xr(21);
+  Tensor x = Tensor::randn({2, 6, 5, 2}, xr);
+  auto outs = model.forward_seq(x);
+  ASSERT_EQ(outs.size(), 4u);
+  const Tensor& alpha = model.last_attention();
+  ASSERT_EQ(alpha.shape(), (Shape{2 * 5, 6}));
+  for (std::int64_t r = 0; r < alpha.size(0); ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < alpha.size(1); ++c) sum += alpha.at({r, c});
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(A3tgcn, GradFlowsToAttention) {
+  std::vector<Csr> sym;
+  SensorNetworkOptions nopt;
+  nopt.num_nodes = 4;
+  SensorNetwork net = build_sensor_network(nopt);
+  sym.push_back(sym_norm_adjacency(net.adjacency));
+  auto supports = nn::GraphSupports::from(std::move(sym));
+  nn::A3tgcnOptions opt;
+  opt.num_nodes = 4;
+  opt.horizon = 3;
+  nn::A3TGCN model(opt, supports);
+  Rng xr(22);
+  Tensor x = Tensor::randn({1, 4, 4, 2}, xr);
+  auto outs = model.forward_seq(x);
+  Variable loss = ag::mean_all(outs[0]);
+  for (std::size_t t = 1; t < outs.size(); ++t) loss = ag::add(loss, ag::mean_all(outs[t]));
+  loss.backward();
+  for (auto& [name, p] : model.named_parameters()) {
+    ASSERT_TRUE(p.has_grad()) << name;
+    if (name == "att_vec.bias") {
+      // The attention-score bias shifts every logit equally; softmax is
+      // shift-invariant, so its gradient is exactly zero by design.
+      EXPECT_NEAR(ops::max_abs(p.grad()), 0.0f, 1e-6f) << name;
+    } else {
+      EXPECT_GT(ops::max_abs(p.grad()), 0.0f) << "dead parameter: " << name;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ STLLM
+
+TEST(Stllm, ForwardShapes) {
+  nn::StllmOptions opt;
+  opt.num_nodes = 6;
+  opt.input_dim = 2;
+  opt.input_steps = 4;
+  opt.model_dim = 16;
+  opt.ffn_dim = 32;
+  opt.num_layers = 2;
+  opt.horizon = 4;
+  nn::STLLM model(opt);
+  Rng xr(23);
+  Tensor x = Tensor::randn({3, 4, 6, 2}, xr);
+  auto outs = model.forward_seq(x);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(outs[1].value().shape(), (Shape{3, 6, 1}));
+}
+
+TEST(Stllm, RejectsMismatchedWindow) {
+  nn::StllmOptions opt;
+  opt.num_nodes = 6;
+  opt.input_steps = 4;
+  nn::STLLM model(opt);
+  Tensor x = Tensor::zeros({1, 5, 6, 2});
+  EXPECT_THROW(model.forward_seq(x), std::invalid_argument);
+}
+
+TEST(Stllm, AllParametersReceiveGradient) {
+  nn::StllmOptions opt;
+  opt.num_nodes = 4;
+  opt.input_steps = 3;
+  opt.model_dim = 8;
+  opt.ffn_dim = 16;
+  opt.num_layers = 1;
+  opt.horizon = 3;
+  nn::STLLM model(opt);
+  Rng xr(24);
+  Tensor x = Tensor::randn({2, 3, 4, 2}, xr);
+  auto outs = model.forward_seq(x);
+  Variable loss = ag::mean_all(outs[0]);
+  for (std::size_t t = 1; t < outs.size(); ++t) loss = ag::add(loss, ag::mean_all(outs[t]));
+  loss.backward();
+  for (auto& [name, p] : model.named_parameters()) {
+    ASSERT_TRUE(p.has_grad()) << name;
+    EXPECT_GT(ops::max_abs(p.grad()), 0.0f) << "dead parameter: " << name;
+  }
+}
+
+// ----------------------------------------------------------- model factory
+
+TEST(ModelFactory, BuildsEveryKind) {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = data::network_for(spec);
+  for (auto kind : {core::ModelKind::kPgtDcrnn, core::ModelKind::kDcrnn,
+                    core::ModelKind::kA3tgcn, core::ModelKind::kStllm}) {
+    auto bundle = core::make_model(kind, spec, net, 8, 1, 1, 5);
+    ASSERT_NE(bundle.model, nullptr);
+    Rng xr(25);
+    Tensor x = Tensor::randn({2, spec.horizon, spec.nodes, spec.features}, xr);
+    auto outs = bundle.model->forward_seq(x);
+    EXPECT_EQ(static_cast<std::int64_t>(outs.size()),
+              bundle.model->output_steps(spec.horizon));
+  }
+}
+
+TEST(ModelFactory, ReplicasAreBitIdentical) {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kMetrLa).scaled(32);
+  SensorNetwork net = data::network_for(spec);
+  auto a = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 16, 2, 2, 123);
+  auto b = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 16, 2, 2, 123);
+  auto pa = a.model->parameters();
+  auto pb = b.model->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(pa[i].value(), pb[i].value()), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace pgti

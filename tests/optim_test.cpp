@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/optim.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+// Minimize ||x - target||^2 and return the final distance.
+template <typename MakeOpt>
+double minimize_quadratic(MakeOpt make_opt, int steps) {
+  Variable x(Tensor::from_vector({5.0f, -3.0f, 2.0f}), true);
+  Tensor target = Tensor::from_vector({1.0f, 1.0f, 1.0f});
+  std::vector<Variable> params{x};
+  auto opt = make_opt(params);
+  for (int i = 0; i < steps; ++i) {
+    Variable loss = ag::mse_loss(x, target);
+    opt->zero_grad();
+    loss.backward();
+    opt->step();
+  }
+  return ops::mae(x.value(), target);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  const double err = minimize_quadratic(
+      [](std::vector<Variable>& p) { return std::make_unique<optim::Sgd>(p, 0.1f); }, 250);
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  const double plain = minimize_quadratic(
+      [](std::vector<Variable>& p) { return std::make_unique<optim::Sgd>(p, 0.02f); }, 40);
+  const double momentum = minimize_quadratic(
+      [](std::vector<Variable>& p) {
+        return std::make_unique<optim::Sgd>(p, 0.02f, 0.9f);
+      },
+      40);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  const double err = minimize_quadratic(
+      [](std::vector<Variable>& p) {
+        optim::Adam::Options o;
+        o.lr = 0.2f;
+        return std::make_unique<optim::Adam>(p, o);
+      },
+      200);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Variable x(Tensor::from_vector({10.0f}), true);
+  std::vector<Variable> params{x};
+  optim::Adam::Options o;
+  o.lr = 0.5f;
+  optim::Adam opt(params, o);
+  Variable loss = ag::mse_loss(x, Tensor::zeros({1}));
+  loss.backward();
+  opt.step();
+  EXPECT_NEAR(x.value().at({0}), 9.5f, 1e-3f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Variable x(Tensor::from_vector({1.0f}), true);
+  std::vector<Variable> params{x};
+  optim::Adam::Options o;
+  o.lr = 0.01f;
+  o.weight_decay = 1.0f;
+  optim::Adam opt(params, o);
+  for (int i = 0; i < 50; ++i) {
+    // Zero data gradient: only decay acts.
+    Variable loss = ag::mul_scalar(ag::sum_all(x), 0.0f);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(x.value().at({0}), 0.7f);
+}
+
+TEST(Adam, SkipsParamsWithoutGrad) {
+  Variable used(Tensor::from_vector({1.0f}), true);
+  Variable unused(Tensor::from_vector({7.0f}), true);
+  std::vector<Variable> params{used, unused};
+  optim::Adam::Options o;
+  optim::Adam opt(params, o);
+  Variable loss = ag::mse_loss(used, Tensor::zeros({1}));
+  loss.backward();
+  opt.step();
+  EXPECT_EQ(unused.value().at({0}), 7.0f);
+}
+
+TEST(Optimizer, SetLrTakesEffect) {
+  Variable x(Tensor::from_vector({1.0f}), true);
+  std::vector<Variable> params{x};
+  optim::Sgd opt(params, 0.0f);
+  Variable loss = ag::mse_loss(x, Tensor::zeros({1}));
+  loss.backward();
+  opt.step();
+  EXPECT_EQ(x.value().at({0}), 1.0f);  // lr 0: no movement
+  opt.set_lr(0.5f);
+  opt.step();
+  EXPECT_LT(x.value().at({0}), 1.0f);
+}
+
+TEST(LinearScaling, WarmupRampsToScaledLr) {
+  optim::LinearScalingSchedule sched(0.01f, 8, 4);
+  EXPECT_LT(sched.lr_for_epoch(0), 0.08f);
+  EXPECT_GT(sched.lr_for_epoch(0), 0.01f);
+  EXPECT_FLOAT_EQ(sched.lr_for_epoch(4), 0.08f);
+  EXPECT_FLOAT_EQ(sched.lr_for_epoch(100), 0.08f);
+}
+
+TEST(LinearScaling, SingleWorkerIsIdentity) {
+  optim::LinearScalingSchedule sched(0.02f, 1, 3);
+  EXPECT_FLOAT_EQ(sched.lr_for_epoch(10), 0.02f);
+}
+
+}  // namespace
+}  // namespace pgti

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "runtime/memory_tracker.h"
+#include "tensor/tensor.h"
+
+namespace pgti {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({3}), 3);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({5, 0, 2}), 0);
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]"); }
+
+TEST(Tensor, DefaultUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZerosInitialized) {
+  Tensor t = Tensor::zeros({4, 5});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) EXPECT_EQ(t.at({i, j}), 0.0f);
+  }
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_EQ(Tensor::full({3}, 2.5f).at({1}), 2.5f);
+  EXPECT_EQ(Tensor::ones({2, 2}).at({1, 1}), 1.0f);
+}
+
+TEST(Tensor, ArangeValues) {
+  Tensor t = Tensor::arange(5);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.at({i}), static_cast<float>(i));
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.numel(), 3);
+  EXPECT_EQ(t.at({2}), 3.0f);
+}
+
+TEST(Tensor, RandnDeterministicInSeed) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::randn({100}, r1);
+  Tensor b = Tensor::randn({100}, r2);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(a.at({i}), b.at({i}));
+}
+
+TEST(Tensor, SizeNegativeIndex) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_THROW(t.size(3), std::out_of_range);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t = Tensor::zeros({2, 2});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_EQ(Tensor::full({1}, 7.0f).item(), 7.0f);
+  EXPECT_THROW(Tensor::zeros({2}).item(), std::logic_error);
+}
+
+// ----------------------------------------------------------------- views
+
+TEST(TensorView, SliceAliasesStorage) {
+  Tensor t = Tensor::arange(10);
+  Tensor v = t.slice(0, 3, 4);
+  EXPECT_TRUE(v.shares_storage_with(t));
+  EXPECT_EQ(v.numel(), 4);
+  EXPECT_EQ(v.at({0}), 3.0f);
+  // Writing through the view is visible in the parent (zero copy).
+  v.at({0}) = 99.0f;
+  EXPECT_EQ(t.at({3}), 99.0f);
+}
+
+TEST(TensorView, SliceDoesNotAllocate) {
+  Tensor t = Tensor::zeros({1000, 10});
+  const std::size_t before = MemoryTracker::instance().current(kHostSpace);
+  Tensor v = t.slice(0, 100, 500);
+  EXPECT_EQ(MemoryTracker::instance().current(kHostSpace), before);
+  EXPECT_EQ(v.size(0), 500);
+}
+
+TEST(TensorView, SliceOutOfBoundsThrows) {
+  Tensor t = Tensor::zeros({5});
+  EXPECT_THROW(t.slice(0, 4, 2), std::out_of_range);
+  EXPECT_THROW(t.slice(0, -1, 2), std::out_of_range);
+  EXPECT_THROW(t.slice(1, 0, 1), std::out_of_range);
+}
+
+TEST(TensorView, SliceNegativeDim) {
+  Tensor t = Tensor::zeros({2, 6});
+  Tensor v = t.slice(-1, 2, 3);
+  EXPECT_EQ(v.size(1), 3);
+  EXPECT_FALSE(v.is_contiguous());
+}
+
+TEST(TensorView, LeadingSliceStaysContiguous) {
+  Tensor t = Tensor::zeros({10, 4, 3});
+  EXPECT_TRUE(t.slice(0, 2, 5).is_contiguous());
+  EXPECT_FALSE(t.slice(1, 0, 2).is_contiguous());
+}
+
+TEST(TensorView, SelectDropsDim) {
+  Tensor t = Tensor::arange(12).reshape({3, 4});
+  Tensor row = t.select(0, 1);
+  EXPECT_EQ(row.dim(), 1);
+  EXPECT_EQ(row.at({0}), 4.0f);
+  Tensor col = t.select(1, 2);
+  EXPECT_EQ(col.at({1}), 6.0f);
+  EXPECT_FALSE(col.is_contiguous());
+}
+
+TEST(TensorView, TransposeSwapsStrides) {
+  Tensor t = Tensor::arange(6).reshape({2, 3});
+  Tensor tt = t.transpose(0, 1);
+  EXPECT_EQ(tt.size(0), 3);
+  EXPECT_EQ(tt.at({2, 1}), t.at({1, 2}));
+  EXPECT_TRUE(tt.shares_storage_with(t));
+}
+
+TEST(TensorView, ContiguousCopiesStridedData) {
+  Tensor t = Tensor::arange(6).reshape({2, 3});
+  Tensor tt = t.transpose(0, 1).contiguous();
+  EXPECT_TRUE(tt.is_contiguous());
+  EXPECT_EQ(tt.at({0, 1}), 3.0f);
+  EXPECT_FALSE(tt.shares_storage_with(t));
+}
+
+TEST(TensorView, ReshapeRequiresContiguous) {
+  Tensor t = Tensor::zeros({4, 6});
+  EXPECT_NO_THROW(t.reshape({24}));
+  EXPECT_THROW(t.transpose(0, 1).reshape({24}), std::logic_error);
+  EXPECT_THROW(t.reshape({23}), std::invalid_argument);
+}
+
+TEST(TensorView, ChainedSliceOfSlice) {
+  Tensor t = Tensor::arange(100);
+  Tensor v = t.slice(0, 10, 50).slice(0, 5, 10);
+  EXPECT_EQ(v.at({0}), 15.0f);
+  EXPECT_TRUE(v.shares_storage_with(t));
+}
+
+// ----------------------------------------------------------------- copies
+
+TEST(TensorCopy, CloneIsDeep) {
+  Tensor t = Tensor::arange(4);
+  Tensor c = t.clone();
+  c.at({0}) = 42.0f;
+  EXPECT_EQ(t.at({0}), 0.0f);
+  EXPECT_FALSE(c.shares_storage_with(t));
+}
+
+TEST(TensorCopy, CopyFromStridedSource) {
+  Tensor t = Tensor::arange(12).reshape({3, 4});
+  Tensor dst = Tensor::zeros({4, 3});
+  dst.copy_from(t.transpose(0, 1));
+  EXPECT_EQ(dst.at({0, 2}), 8.0f);
+  EXPECT_EQ(dst.at({3, 1}), 7.0f);
+}
+
+TEST(TensorCopy, CopyIntoStridedDest) {
+  Tensor t = Tensor::zeros({4, 4});
+  Tensor sub = t.slice(1, 1, 2);  // strided view
+  sub.copy_from(Tensor::ones({4, 2}));
+  EXPECT_EQ(t.at({0, 1}), 1.0f);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({3, 2}), 1.0f);
+  EXPECT_EQ(t.at({3, 3}), 0.0f);
+}
+
+TEST(TensorCopy, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({3, 2});
+  EXPECT_THROW(a.copy_from(b), std::invalid_argument);
+}
+
+TEST(TensorCopy, FillStridedView) {
+  Tensor t = Tensor::zeros({3, 3});
+  t.slice(1, 0, 1).fill_(5.0f);
+  EXPECT_EQ(t.at({2, 0}), 5.0f);
+  EXPECT_EQ(t.at({2, 1}), 0.0f);
+}
+
+// ----------------------------------------------------------- memory spaces
+
+TEST(TensorMemory, AllocationTracked) {
+  const std::size_t before = MemoryTracker::instance().current(kHostSpace);
+  {
+    Tensor t = Tensor::zeros({1024});
+    EXPECT_EQ(MemoryTracker::instance().current(kHostSpace), before + 4096);
+  }
+  EXPECT_EQ(MemoryTracker::instance().current(kHostSpace), before);
+}
+
+TEST(TensorMemory, ViewsShareOneAllocation) {
+  const std::size_t before = MemoryTracker::instance().current(kHostSpace);
+  Tensor t = Tensor::zeros({256});
+  std::vector<Tensor> views;
+  for (int i = 0; i < 10; ++i) views.push_back(t.slice(0, 0, 128));
+  EXPECT_EQ(MemoryTracker::instance().current(kHostSpace), before + 1024);
+}
+
+TEST(TensorMemory, ToMovesBetweenSpaces) {
+  auto& tracker = MemoryTracker::instance();
+  const MemorySpaceId space = tracker.register_space("tensor-test-space");
+  const std::size_t before = tracker.current(space);
+  Tensor host = Tensor::arange(16);
+  Tensor dev = host.to(space);
+  EXPECT_EQ(tracker.current(space), before + 64);
+  EXPECT_EQ(dev.space(), space);
+  EXPECT_EQ(dev.at({7}), 7.0f);
+}
+
+TEST(TensorMemory, AllocOverLimitThrows) {
+  auto& tracker = MemoryTracker::instance();
+  const MemorySpaceId space = tracker.register_space("tensor-oom-space");
+  tracker.set_limit(space, 1000);
+  EXPECT_THROW(Tensor::zeros({10000}, space), OutOfMemoryError);
+  // Failed construction leaks nothing.
+  EXPECT_EQ(tracker.current(space), 0u);
+  tracker.set_limit(space, 0);
+}
+
+TEST(TensorMemory, StorageBytes) {
+  Tensor t = Tensor::zeros({100});
+  EXPECT_EQ(t.storage_bytes(), 400);
+  EXPECT_EQ(t.slice(0, 0, 10).storage_bytes(), 400);  // whole storage
+}
+
+// Parameterized: view reconstruction round-trips for many shapes.
+class TensorShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TensorShapeTest, CloneRoundTrip) {
+  Rng rng(17);
+  Tensor t = Tensor::randn(GetParam(), rng);
+  Tensor c = t.clone();
+  ASSERT_EQ(c.shape(), t.shape());
+  const float* a = t.data();
+  const float* b = c.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(TensorShapeTest, TransposeTwiceIsIdentity) {
+  Rng rng(23);
+  Tensor t = Tensor::randn(GetParam(), rng);
+  if (t.dim() < 2) GTEST_SKIP();
+  Tensor round = t.transpose(0, 1).transpose(0, 1).contiguous();
+  const float* a = t.data();
+  const float* b = round.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TensorShapeTest,
+                         ::testing::Values(Shape{1}, Shape{7}, Shape{3, 5},
+                                           Shape{2, 3, 4}, Shape{4, 1, 6},
+                                           Shape{2, 2, 2, 2}, Shape{1, 9, 1}));
+
+}  // namespace
+}  // namespace pgti
