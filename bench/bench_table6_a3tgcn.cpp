@@ -5,6 +5,8 @@
 // 1050.80 s / 1232.62 MB / 0.5427 MSE — a 49.20% memory reduction at
 // unchanged runtime and accuracy, demonstrating that index-batching
 // generalizes beyond DCRNN.
+#include <algorithm>
+
 #include "bench_util.h"
 
 using namespace pgti;
@@ -26,26 +28,37 @@ int main() {
   cfg.max_val_batches = 4;
   cfg.seed = 3;
 
+  // Best-of-N runtimes: the runs are short at default scale, so a
+  // single sample is at the mercy of the scheduler; min is the
+  // standard noise-robust estimator and leaves memory/MSE untouched
+  // (they are deterministic across repetitions).
+  const int reps = bench::env_int("PGTI_BENCH_REPS", 3);
   cfg.mode = core::BatchingMode::kStandard;
   core::TrainResult base = core::Trainer(cfg).run();
   cfg.mode = core::BatchingMode::kIndex;
   core::TrainResult index = core::Trainer(cfg).run();
+  double base_s = base.total_seconds(), index_s = index.total_seconds();
+  for (int r = 1; r < reps; ++r) {
+    cfg.mode = core::BatchingMode::kStandard;
+    base_s = std::min(base_s, core::Trainer(cfg).run().total_seconds());
+    cfg.mode = core::BatchingMode::kIndex;
+    index_s = std::min(index_s, core::Trainer(cfg).run().total_seconds());
+  }
 
   std::printf("%-10s | %-24s | %-24s | %-18s\n", "mode", "runtime (s)", "CPU memory",
               "test MSE (normalized)");
   std::printf("%-10s | ours %7.2f (1041.95 s) | %-10s (2426.26 MB) | %.4f (0.5436)\n",
-              "baseline", base.total_seconds(),
+              "baseline", base_s,
               bench::gb(static_cast<double>(base.peak_host_bytes)).c_str(),
               base.final_test_mse);
   std::printf("%-10s | ours %7.2f (1050.80 s) | %-10s (1232.62 MB) | %.4f (0.5427)\n",
-              "index", index.total_seconds(),
+              "index", index_s,
               bench::gb(static_cast<double>(index.peak_host_bytes)).c_str(),
               index.final_test_mse);
 
   const double mem_saved = 1.0 - static_cast<double>(index.peak_host_bytes) /
                                      static_cast<double>(base.peak_host_bytes);
-  const double runtime_delta =
-      std::abs(index.total_seconds() - base.total_seconds()) / base.total_seconds();
+  const double runtime_delta = std::abs(index_s - base_s) / base_s;
   std::printf("memory saved: %.2f%% (paper 49.20%%); runtime delta: %.1f%%\n",
               100.0 * mem_saved, 100.0 * runtime_delta);
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate in one command: configure + build + ctest, with warnings
+# in src/dist/ promoted to errors (PGTI_WERROR).
+#
+#   scripts/check.sh [build-dir]
+#
+# Environment:
+#   JOBS       parallelism (default: nproc)
+#   CTEST_ARGS extra ctest arguments (default: -L tier1)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+jobs="${JOBS:-$(nproc)}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DPGTI_WERROR=ON
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:--L tier1}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs every experiment-reproduction bench and summarizes the
+# [REPRODUCED]/[DIVERGED] verdicts.  Exits non-zero if any bench fails
+# to run or any claim diverges.
+#
+#   scripts/run_benches.sh [build-dir]
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "error: ${build_dir}/bench not found — build first (scripts/check.sh)" >&2
+  exit 2
+fi
+
+failures=0
+diverged=0
+reproduced=0
+for bench in "${build_dir}"/bench/*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  log="$("${bench}" 2>&1)"
+  status=$?
+  if [ ${status} -ne 0 ]; then
+    echo "[FAILED    ] ${name} (exit ${status})"
+    failures=$((failures + 1))
+    continue
+  fi
+  n_repro=$(printf '%s\n' "${log}" | grep -c '^\[REPRODUCED\]')
+  n_div=$(printf '%s\n' "${log}" | grep -c '^\[DIVERGED\]')
+  reproduced=$((reproduced + n_repro))
+  diverged=$((diverged + n_div))
+  if [ "${n_div}" -gt 0 ]; then
+    echo "[DIVERGED  ] ${name}"
+    printf '%s\n' "${log}" | grep '^\[DIVERGED\]' | sed 's/^/    /'
+  else
+    echo "[OK        ] ${name} (${n_repro} claims reproduced)"
+  fi
+done
+
+echo
+echo "claims reproduced: ${reproduced}, diverged: ${diverged}, benches failed: ${failures}"
+[ $((failures + diverged)) -eq 0 ]

@@ -1,0 +1,113 @@
+// Analytic cluster-scale model (paper §5.3, Figs. 7-10).
+//
+// The thread-level Cluster in comm.h reproduces the paper's *behaviour*
+// (bit-exact collectives, fetch accounting) at small world sizes; this
+// file reproduces its *numbers* at paper scale.  ClusterModel composes
+// per-sample compute cost (calibrated against the paper's single-GPU
+// Table 4 anchor), a ring-all-reduce NetworkModel, and a Dask-style
+// remote-fetch cost model into runtime and memory curves for 1..128
+// workers under each distribution strategy.  The same NetworkModel
+// instance prices the functional runs (Cluster, DistStore), so modeled
+// and measured experiments share one cost basis.
+#pragma once
+
+#include <cstdint>
+
+namespace pgti::dist {
+
+/// Interconnect cost model: ring all-reduce over NVLink-class links
+/// inside a node and a slower network across nodes, plus a Dask-style
+/// object-store channel for remote snapshot fetches.  Bandwidths are
+/// bytes/second.  Defaults are calibrated so that the PeMS/DCRNN
+/// workload reproduces the paper's DDP-vs-index gap (2.16x at 4
+/// workers, 11.78x at 128).
+struct NetworkModel {
+  double latency_s = 25e-6;        ///< per-hop collective latency
+  double intra_node_bw = 12.5e9;   ///< NVLink-class, within a node
+  double inter_node_bw = 1.25e9;   ///< network, across nodes
+  int gpus_per_node = 4;           ///< Polaris-like node fan-out
+  double fetch_bw = 300e6;         ///< remote snapshot fetch bandwidth
+  double fetch_latency_s = 0.112;  ///< scheduler round-trip per request
+
+  /// Bottleneck link bandwidth for a W-worker collective.
+  double effective_bw(int world) const;
+
+  /// Ring all-reduce time for `bytes` per rank across `world` ranks:
+  /// 2(W-1)/W buffer traversals plus 2(W-1) latency hops.  Free for a
+  /// single worker.
+  double allreduce_seconds(std::int64_t bytes, int world) const;
+
+  /// Remote fetch of `bytes` split over `messages` requests.
+  double fetch_seconds(std::int64_t bytes, std::int64_t messages) const;
+};
+
+/// Data-distribution strategy (paper §4.2, §5.4).  Mirrors
+/// core::DistMode; kept separate so the model layer has no core
+/// dependency.
+enum class DistStrategy {
+  kDistributedIndex,         ///< full index copy per worker, zero data comm
+  kBaselineDdp,              ///< Dask-partitioned store, global shuffle
+  kGeneralizedIndex,         ///< partitioned index data, batch-level shuffle
+  kBaselineDdpBatchShuffle,  ///< partitioned store, batch-level shuffle
+};
+
+/// Workload description + calibration anchors for one dataset/model
+/// pair.  Time defaults correspond to the paper's PeMS measurements
+/// (§5.2: 26.05 s index preprocessing; DDP scatter grows to ~305 s at
+/// 128 workers).
+struct ClusterModelParams {
+  std::int64_t train_samples = 0;     ///< snapshots in the training split
+  std::int64_t batch_per_worker = 64;
+  std::int64_t model_parameters = 0;  ///< gradient elements all-reduced
+  std::int64_t sample_bytes = 0;      ///< one materialized (x, y) snapshot
+  std::int64_t dataset_bytes = 0;     ///< the single raw copy index-batching keeps
+  int epochs = 1;
+  double t_sample = 0.0;              ///< compute seconds per sample (calibrated)
+  double index_preprocess_s = 26.05;
+  double ddp_preprocess_base_s = 120.0;
+  double ddp_preprocess_scatter_per_worker_s = 1.45;
+  double epoch_fixed_s = 1.0;         ///< loader/validation overhead per epoch
+  NetworkModel network;
+};
+
+/// One point on a scaling curve: the additive runtime components for a
+/// full run of `epochs` epochs at `world` workers, plus the data-plane
+/// memory footprint.
+struct ScalingPoint {
+  int world = 1;
+  int epochs = 1;
+  double preprocess_s = 0.0;
+  double compute_s = 0.0;
+  double allreduce_s = 0.0;
+  double data_comm_s = 0.0;
+  double fixed_s = 0.0;
+  std::int64_t data_bytes_per_worker = 0;
+  std::int64_t data_bytes_total = 0;
+
+  /// Full-workflow runtime (the quantity in paper Fig. 7).
+  double total_s() const {
+    return preprocess_s + compute_s + allreduce_s + data_comm_s + fixed_s;
+  }
+  /// Steady-state runtime of `n` epochs, preprocessing excluded (the
+  /// quantity in paper Fig. 9).
+  double epoch_s(int n) const {
+    return (total_s() - preprocess_s) / static_cast<double>(epochs) *
+           static_cast<double>(n);
+  }
+};
+
+/// Evaluates runtime/memory curves for a workload at any world size.
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterModelParams params);
+
+  /// Runtime + memory breakdown at `world` workers under `strategy`.
+  ScalingPoint evaluate(int world, DistStrategy strategy) const;
+
+  const ClusterModelParams& params() const noexcept { return params_; }
+
+ private:
+  ClusterModelParams params_;
+};
+
+}  // namespace pgti::dist

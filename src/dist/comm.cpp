@@ -1,0 +1,202 @@
+#include "dist/comm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace pgti::dist {
+
+int Communicator::world() const noexcept { return cluster_->world_; }
+
+void Communicator::allreduce_sum(float* data, std::int64_t n) {
+  cluster_->allreduce(data, n, rank_, /*mean=*/false);
+}
+
+void Communicator::allreduce_mean(float* data, std::int64_t n) {
+  cluster_->allreduce(data, n, rank_, /*mean=*/true);
+}
+
+double Communicator::allreduce_scalar_sum(double value) {
+  Cluster& c = *cluster_;
+  c.double_slots_[static_cast<std::size_t>(rank_)] = value;
+  c.sync_point();  // all values published
+  if (rank_ == 0) {
+    double acc = 0.0;
+    for (int r = 0; r < c.world_; ++r) {
+      acc += c.double_slots_[static_cast<std::size_t>(r)];
+    }
+    c.scalar_result_ = acc;
+    {
+      std::lock_guard<std::mutex> lk(c.mu_);
+      ++c.stats_.allreduce_count;
+      c.stats_.allreduce_bytes +=
+          static_cast<std::uint64_t>(c.world_) * sizeof(double);
+    }
+    c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
+  }
+  c.sync_point();  // sum ready
+  const double result = c.scalar_result_;
+  c.sync_point();  // everyone read; scratch reusable
+  return result;
+}
+
+std::vector<double> Communicator::allgather(double value) {
+  Cluster& c = *cluster_;
+  c.double_slots_[static_cast<std::size_t>(rank_)] = value;
+  c.sync_point();  // all values published
+  std::vector<double> result(c.double_slots_.begin(), c.double_slots_.end());
+  if (rank_ == 0) {
+    {
+      std::lock_guard<std::mutex> lk(c.mu_);
+      ++c.stats_.allgather_count;
+    }
+    c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
+  }
+  c.sync_point();  // everyone copied; scratch reusable
+  return result;
+}
+
+void Communicator::broadcast(float* data, std::int64_t n, int root) {
+  Cluster& c = *cluster_;
+  if (root < 0 || root >= c.world_) {
+    throw std::invalid_argument("broadcast: root " + std::to_string(root) +
+                                " outside [0, " + std::to_string(c.world_) + ")");
+  }
+  if (rank_ == root) {
+    c.broadcast_src_ = data;
+    std::lock_guard<std::mutex> lk(c.mu_);
+    ++c.stats_.broadcast_count;
+    c.stats_.broadcast_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
+                                static_cast<std::uint64_t>(c.world_ - 1);
+  }
+  c.sync_point();  // source pointer published
+  if (rank_ != root) {
+    std::memcpy(data, c.broadcast_src_, static_cast<std::size_t>(n) * sizeof(float));
+  }
+  if (rank_ == 0) {
+    c.sim_clock_.add(c.network_.allreduce_seconds(
+        n * static_cast<std::int64_t>(sizeof(float)), c.world_));
+  }
+  c.sync_point();  // everyone copied; source frame may unwind
+}
+
+void Communicator::barrier() {
+  Cluster& c = *cluster_;
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lk(c.mu_);
+    ++c.stats_.barrier_count;
+  }
+  c.sync_point();
+}
+
+Cluster::Cluster(int world, NetworkModel network)
+    : world_(world), network_(network) {
+  if (world < 1) throw std::invalid_argument("Cluster: world must be >= 1");
+  float_slots_.assign(static_cast<std::size_t>(world), nullptr);
+  double_slots_.assign(static_cast<std::size_t>(world), 0.0);
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    arrived_ = 0;
+    generation_ = 0;
+    failed_ = false;
+    first_error_ = nullptr;
+    first_error_is_peer_failure_ = false;
+    std::fill(float_slots_.begin(), float_slots_.end(), nullptr);
+    std::fill(double_slots_.begin(), double_slots_.end(), 0.0);
+    broadcast_src_ = nullptr;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    workers.emplace_back([this, r, &fn] {
+      Communicator comm(*this, r);
+      try {
+        fn(comm);
+      } catch (const PeerFailureError&) {
+        // Secondary casualty: keep unwinding, but never let it mask the
+        // peer's original error.
+        record_failure(std::current_exception(), /*is_peer_failure=*/true);
+      } catch (...) {
+        record_failure(std::current_exception(), /*is_peer_failure=*/false);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+CommStats Cluster::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Cluster::sync_point() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (failed_) throw PeerFailureError();
+  if (++arrived_ == world_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  cv_.wait(lk, [&] { return failed_ || generation_ != gen; });
+  // A completed generation outranks a failure flag raised afterwards:
+  // the collective finished; the failure surfaces at the next entry.
+  if (generation_ == gen) throw PeerFailureError();
+}
+
+void Cluster::record_failure(std::exception_ptr error, bool is_peer_failure) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!first_error_ || (first_error_is_peer_failure_ && !is_peer_failure)) {
+    first_error_ = error;
+    first_error_is_peer_failure_ = is_peer_failure;
+  }
+  failed_ = true;
+  cv_.notify_all();
+}
+
+void Cluster::allreduce(float* data, std::int64_t n, int rank, bool mean) {
+  const std::size_t count = static_cast<std::size_t>(n);
+  float_slots_[static_cast<std::size_t>(rank)] = data;
+  sync_point();  // all rank buffers published
+  if (rank == 0) {
+    // Rank-ordered accumulation on one thread: the result is a pure
+    // function of the inputs, so every rank receives identical bits no
+    // matter how threads interleave.
+    reduce_buf_.resize(count);
+    std::memcpy(reduce_buf_.data(), float_slots_[0], count * sizeof(float));
+    for (int r = 1; r < world_; ++r) {
+      const float* src = float_slots_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < count; ++i) reduce_buf_[i] += src[i];
+    }
+    if (mean) {
+      const float inv = 1.0f / static_cast<float>(world_);
+      for (float& v : reduce_buf_) v *= inv;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.allreduce_count;
+      stats_.allreduce_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
+                                static_cast<std::uint64_t>(world_);
+    }
+    sim_clock_.add(network_.allreduce_seconds(
+        n * static_cast<std::int64_t>(sizeof(float)), world_));
+  }
+  sync_point();  // reduced buffer ready
+  std::memcpy(data, reduce_buf_.data(), count * sizeof(float));
+  sync_point();  // everyone copied; scratch reusable
+}
+
+}  // namespace pgti::dist

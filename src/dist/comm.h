@@ -1,0 +1,142 @@
+// In-process distributed runtime: W worker threads + collectives.
+//
+// Cluster::run spawns one thread per rank and hands each a
+// Communicator.  Collectives are rank-ordered and therefore bit-exact:
+// every rank observes the identical result bits regardless of thread
+// scheduling, which is what makes W-worker training reproduce
+// single-worker training exactly (paper §5.3's "identical accuracy"
+// claim depends on it).
+//
+// Failure semantics mirror a well-behaved NCCL + torchrun stack: when
+// any worker throws, peers blocked in a collective are released with
+// PeerFailureError instead of deadlocking, the cluster unwinds, and
+// run() rethrows the ORIGINAL worker exception.
+//
+// Wall-clock is measured; network time is *modeled*: each collective
+// charges its ring-all-reduce cost (NetworkModel) to a SimClock, so
+// experiment runtimes compose measured compute with modeled
+// communication (see runtime/timer.h).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/cluster_model.h"
+#include "runtime/timer.h"
+
+namespace pgti::dist {
+
+/// Collective-traffic ledger (what DistResult reports).
+struct CommStats {
+  std::uint64_t allreduce_count = 0;
+  std::uint64_t allreduce_bytes = 0;  ///< summed over all ranks' buffers
+  std::uint64_t broadcast_count = 0;
+  std::uint64_t broadcast_bytes = 0;
+  std::uint64_t allgather_count = 0;
+  std::uint64_t barrier_count = 0;
+};
+
+/// Thrown inside surviving workers when a peer dies mid-collective.
+/// Cluster::run swallows these in favour of the peer's original error.
+class PeerFailureError : public std::runtime_error {
+ public:
+  PeerFailureError()
+      : std::runtime_error("peer worker failed; collective aborted") {}
+};
+
+class Cluster;
+
+/// Per-rank handle passed to the worker function.  All collectives must
+/// be entered by every rank of the cluster (standard SPMD contract).
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int world() const noexcept;
+
+  /// In-place sum across ranks; identical bits on every rank.
+  void allreduce_sum(float* data, std::int64_t n);
+  /// In-place mean across ranks; identical bits on every rank.
+  void allreduce_mean(float* data, std::int64_t n);
+  /// Rank-ordered scalar sum (validation metric aggregation).
+  double allreduce_scalar_sum(double value);
+  /// Every rank's value, ordered by rank.
+  std::vector<double> allgather(double value);
+  /// Copies root's buffer into every other rank's buffer.
+  void broadcast(float* data, std::int64_t n, int root);
+  /// Blocks until every live rank arrives (throws PeerFailureError if
+  /// a peer died instead).
+  void barrier();
+
+ private:
+  friend class Cluster;
+  Communicator(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+
+  Cluster* cluster_;
+  int rank_;
+};
+
+/// W thread-backed workers sharing one address space — the test- and
+/// bench-scale stand-in for a multi-GPU job.  Reusable: each run()
+/// resets failure state; traffic stats and modeled time accumulate
+/// across runs.
+class Cluster {
+ public:
+  explicit Cluster(int world, NetworkModel network = NetworkModel{});
+
+  /// Runs `fn(comm)` on every rank, joins all workers, and rethrows the
+  /// first original worker exception (never a PeerFailureError when a
+  /// real error caused the unwind).
+  void run(const std::function<void(Communicator&)>& fn);
+
+  int world() const noexcept { return world_; }
+  const NetworkModel& network() const noexcept { return network_; }
+
+  /// Collective-traffic totals so far.
+  CommStats stats() const;
+
+  /// Modeled communication seconds so far (collectives plus anything
+  /// charged via charge_seconds).
+  double modeled_comm_seconds() const { return sim_clock_.seconds(); }
+
+  /// Adds externally modeled time (e.g. DistStore fetches) to the
+  /// communication clock.
+  void charge_seconds(double seconds) { sim_clock_.add(seconds); }
+
+ private:
+  friend class Communicator;
+
+  /// Sense-reversing barrier; throws PeerFailureError once failed_.
+  void sync_point();
+  /// Records a worker exception and releases ranks blocked in sync_point.
+  void record_failure(std::exception_ptr error, bool is_peer_failure);
+
+  void allreduce(float* data, std::int64_t n, int rank, bool mean);
+
+  int world_;
+  NetworkModel network_;
+  SimClock sim_clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool failed_ = false;
+  std::exception_ptr first_error_;
+  bool first_error_is_peer_failure_ = false;
+
+  // Collective scratch state, valid between sync points.
+  std::vector<const float*> float_slots_;
+  std::vector<double> double_slots_;
+  std::vector<float> reduce_buf_;
+  double scalar_result_ = 0.0;
+  const float* broadcast_src_ = nullptr;
+
+  CommStats stats_;
+};
+
+}  // namespace pgti::dist

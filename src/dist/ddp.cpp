@@ -1,0 +1,99 @@
+#include "dist/ddp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace pgti::dist {
+namespace {
+
+void check_layout(const std::vector<Variable>& params,
+                  const std::vector<std::int64_t>& expected_numels) {
+  if (params.size() != expected_numels.size()) {
+    throw std::invalid_argument("GradBucket: parameter list size changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].value().numel() != expected_numels[i]) {
+      throw std::invalid_argument("GradBucket: parameter shape changed");
+    }
+  }
+}
+
+}  // namespace
+
+GradBucket::GradBucket(const std::vector<Variable>& params,
+                       std::int64_t bucket_numel) {
+  if (bucket_numel < 1) {
+    throw std::invalid_argument("GradBucket: bucket_numel must be >= 1");
+  }
+  param_numels_.reserve(params.size());
+  Bucket current;
+  std::int64_t max_bucket = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::int64_t n = params[i].value().numel();
+    param_numels_.push_back(n);
+    total_numel_ += n;
+    // A parameter larger than the cap gets a bucket of its own rather
+    // than being split across collectives.
+    if (current.numel > 0 && current.numel + n > bucket_numel) {
+      buckets_.push_back(std::move(current));
+      current = Bucket{};
+    }
+    current.param_indices.push_back(i);
+    current.numel += n;
+    max_bucket = std::max(max_bucket, current.numel);
+  }
+  if (current.numel > 0 || buckets_.empty()) buckets_.push_back(std::move(current));
+  flat_.resize(static_cast<std::size_t>(max_bucket));
+}
+
+void GradBucket::allreduce_average(Communicator& comm,
+                                   std::vector<Variable>& params) {
+  check_layout(params, param_numels_);
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.numel == 0) continue;
+    std::int64_t offset = 0;
+    for (std::size_t idx : bucket.param_indices) {
+      const std::int64_t n = param_numels_[idx];
+      float* dst = flat_.data() + offset;
+      if (params[idx].has_grad()) {
+        const Tensor grad = params[idx].grad().contiguous();
+        std::memcpy(dst, grad.data(), static_cast<std::size_t>(n) * sizeof(float));
+      } else {
+        std::fill(dst, dst + n, 0.0f);
+      }
+      offset += n;
+    }
+    comm.allreduce_mean(flat_.data(), bucket.numel);
+    offset = 0;
+    for (std::size_t idx : bucket.param_indices) {
+      const std::int64_t n = param_numels_[idx];
+      // Write back unconditionally (grad() lazily allocates zeros): a
+      // rank whose shard skipped a layer must still adopt its peers'
+      // averaged gradient, or replicas diverge silently.
+      Tensor& grad = params[idx].grad();
+      std::memcpy(grad.data(), flat_.data() + offset,
+                  static_cast<std::size_t>(n) * sizeof(float));
+      offset += n;
+    }
+  }
+}
+
+void allreduce_gradients(Communicator& comm, std::vector<Variable>& params) {
+  GradBucket bucket(params);
+  bucket.allreduce_average(comm, params);
+}
+
+void broadcast_parameters(Communicator& comm, std::vector<Variable>& params,
+                          int root) {
+  for (Variable& p : params) {
+    Tensor& value = p.mutable_value();
+    if (!value.is_contiguous()) {
+      throw std::invalid_argument(
+          "broadcast_parameters: parameter tensors must be contiguous");
+    }
+    comm.broadcast(value.data(), value.numel(), root);
+  }
+}
+
+}  // namespace pgti::dist

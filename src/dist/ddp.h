@@ -1,0 +1,64 @@
+// Distributed data parallelism over autograd parameters.
+//
+// GradBucket implements PyTorch-DDP-style bucketed gradient averaging:
+// parameter gradients are packed into a small number of flat buckets,
+// each bucket is all-reduced once (amortizing per-collective latency —
+// the ablation bench_kernels.cpp measures), and the averaged values are
+// scattered back.  Because Communicator collectives are rank-ordered
+// and bit-exact, replicas stay bit-identical after every step, which is
+// what lets W-worker runs match the large-batch single-worker gradient
+// exactly (tests/dist_test.cpp, Ddp.DistributedGradEqualsLargeBatchGrad).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "dist/comm.h"
+
+namespace pgti::dist {
+
+/// Flat-buffer gradient averager for a fixed parameter list.
+class GradBucket {
+ public:
+  /// Default bucket capacity, in gradient elements (1 MiB of floats).
+  static constexpr std::int64_t kDefaultBucketNumel = 1 << 18;
+
+  /// Captures the parameter layout (shapes/order must not change
+  /// afterwards).
+  explicit GradBucket(const std::vector<Variable>& params,
+                      std::int64_t bucket_numel = kDefaultBucketNumel);
+
+  /// Total gradient elements across all parameters.
+  std::int64_t numel() const noexcept { return total_numel_; }
+  /// Number of flat buckets the parameters were packed into.
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Averages grads across ranks in place: pack (missing grads
+  /// contribute zeros), one allreduce_mean per bucket, unpack into
+  /// every parameter (allocating zero grads where absent, so replicas
+  /// stay bit-identical even when has_grad differs across ranks).
+  /// `params` must match the construction-time list.
+  void allreduce_average(Communicator& comm, std::vector<Variable>& params);
+
+ private:
+  struct Bucket {
+    std::vector<std::size_t> param_indices;
+    std::int64_t numel = 0;
+  };
+
+  std::vector<std::int64_t> param_numels_;
+  std::vector<Bucket> buckets_;
+  std::vector<float> flat_;
+  std::int64_t total_numel_ = 0;
+};
+
+/// One-shot convenience: average `params`' gradients across ranks.
+void allreduce_gradients(Communicator& comm, std::vector<Variable>& params);
+
+/// Copies root's parameter values to every other rank so all replicas
+/// start (or resume) bit-identical.
+void broadcast_parameters(Communicator& comm, std::vector<Variable>& params,
+                          int root);
+
+}  // namespace pgti::dist

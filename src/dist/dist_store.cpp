@@ -1,0 +1,87 @@
+#include "dist/dist_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pgti::dist {
+
+DistStore::DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes,
+                     int world, NetworkModel network, bool consolidate_requests)
+    : num_snapshots_(num_snapshots),
+      snapshot_bytes_(snapshot_bytes),
+      world_(world),
+      network_(network),
+      consolidate_requests_(consolidate_requests) {
+  if (num_snapshots < 1) {
+    throw std::invalid_argument("DistStore: num_snapshots must be >= 1");
+  }
+  if (world < 1) throw std::invalid_argument("DistStore: world must be >= 1");
+  chunk_ = (num_snapshots + world - 1) / world;
+}
+
+int DistStore::owner(std::int64_t snapshot) const {
+  if (snapshot < 0 || snapshot >= num_snapshots_) {
+    throw std::out_of_range("DistStore: snapshot " + std::to_string(snapshot) +
+                            " outside [0, " + std::to_string(num_snapshots_) + ")");
+  }
+  return static_cast<int>(snapshot / chunk_);
+}
+
+std::pair<std::int64_t, std::int64_t> DistStore::partition(int rank) const {
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(world_) + ")");
+  }
+  const std::int64_t lo = std::min(chunk_ * rank, num_snapshots_);
+  const std::int64_t hi = std::min(lo + chunk_, num_snapshots_);
+  return {lo, hi};
+}
+
+double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapshots) {
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  std::uint64_t messages = 0;
+  std::vector<bool> owner_contacted;
+  if (consolidate_requests_) {
+    owner_contacted.assign(static_cast<std::size_t>(world_), false);
+  }
+  for (std::int64_t snapshot : snapshots) {
+    const int own = owner(snapshot);
+    if (own == rank) {
+      ++local;
+      continue;
+    }
+    ++remote;
+    if (consolidate_requests_) {
+      if (!owner_contacted[static_cast<std::size_t>(own)]) {
+        owner_contacted[static_cast<std::size_t>(own)] = true;
+        ++messages;
+      }
+    } else {
+      ++messages;
+    }
+  }
+
+  const std::uint64_t bytes =
+      remote * static_cast<std::uint64_t>(snapshot_bytes_);
+  const double seconds =
+      remote > 0 ? network_.fetch_seconds(static_cast<std::int64_t>(bytes),
+                                          static_cast<std::int64_t>(messages))
+                 : 0.0;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.local_snapshots += local;
+  stats_.remote_snapshots += remote;
+  stats_.remote_bytes += bytes;
+  stats_.request_messages += messages;
+  stats_.modeled_seconds += seconds;
+  return seconds;
+}
+
+StoreStats DistStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace pgti::dist

@@ -1,0 +1,70 @@
+// Dask-style distributed snapshot store (the paper's DDP baseline).
+//
+// The baseline materializes every snapshot and partitions them
+// contiguously across workers; a worker whose shuffled batch contains
+// snapshots owned elsewhere must fetch them over the network.
+// DistStore is that ownership map plus the fetch ledger: local
+// accesses are free, remote accesses are counted (snapshots, bytes,
+// request messages) and priced by the NetworkModel.  With
+// consolidate_requests, all items owned by one peer travel in a single
+// request per batch — the Dask batching optimization §5.1 applies to
+// the baseline to keep the comparison fair.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "dist/cluster_model.h"
+
+namespace pgti::dist {
+
+/// Remote-fetch ledger (what DistResult reports).
+struct StoreStats {
+  std::uint64_t local_snapshots = 0;
+  std::uint64_t remote_snapshots = 0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t request_messages = 0;
+  double modeled_seconds = 0.0;
+};
+
+/// Contiguous ceil-chunked ownership of `num_snapshots` snapshots
+/// across `world` workers, with per-batch fetch accounting.
+/// Thread-safe: worker threads call fetch_batch concurrently.
+class DistStore {
+ public:
+  DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes, int world,
+            NetworkModel network, bool consolidate_requests = true);
+
+  /// Owning rank of a snapshot; throws std::out_of_range for ids
+  /// outside [0, num_snapshots).
+  int owner(std::int64_t snapshot) const;
+
+  /// [begin, end) snapshot range owned by `rank`.
+  std::pair<std::int64_t, std::int64_t> partition(int rank) const;
+
+  /// Accounts one batch of snapshot accesses by `rank` and returns the
+  /// modeled seconds this batch spent fetching remote snapshots.
+  double fetch_batch(int rank, const std::vector<std::int64_t>& snapshots);
+
+  StoreStats stats() const;
+
+  std::int64_t num_snapshots() const noexcept { return num_snapshots_; }
+  std::int64_t snapshot_bytes() const noexcept { return snapshot_bytes_; }
+  int world() const noexcept { return world_; }
+  bool consolidates_requests() const noexcept { return consolidate_requests_; }
+
+ private:
+  std::int64_t num_snapshots_;
+  std::int64_t snapshot_bytes_;
+  int world_;
+  std::int64_t chunk_ = 1;
+  NetworkModel network_;
+  bool consolidate_requests_;
+
+  mutable std::mutex mu_;
+  StoreStats stats_;
+};
+
+}  // namespace pgti::dist

@@ -1,0 +1,78 @@
+// Golden tests for index-batching equivalence at split boundaries.
+//
+// index_batching_test.cpp samples the snapshot range at a stride; here
+// we pin down the edges, where off-by-one window arithmetic would hide:
+// the FIRST and LAST snapshot of each of the train/val/test splits must
+// be bit-identical between IndexDataset's zero-copy reconstruction and
+// the materialized StandardDataset snapshot array (paper §4.1's
+// "identical accuracy" rests on this equivalence).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/index_dataset.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti::data {
+namespace {
+
+DatasetSpec boundary_spec(std::int64_t horizon) {
+  DatasetSpec spec = spec_for(DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = horizon;
+  return spec;
+}
+
+std::vector<std::int64_t> boundary_ids(const SplitRanges& splits) {
+  return {splits.train_begin, splits.train_end - 1, splits.val_begin,
+          splits.val_end - 1,  splits.test_begin,   splits.test_end - 1};
+}
+
+class SplitBoundaries : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SplitBoundaries, IndexMatchesMaterializedSnapshotAtEverySplitEdge) {
+  const DatasetSpec spec = boundary_spec(GetParam());
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 51);
+  StandardDataset standard(raw, spec);
+  IndexDataset index(raw, spec);
+  ASSERT_EQ(standard.num_snapshots(), index.num_snapshots());
+
+  const SplitRanges& splits = index.splits();
+  ASSERT_LT(splits.train_begin, splits.train_end);
+  ASSERT_LT(splits.val_begin, splits.val_end);
+  ASSERT_LT(splits.test_begin, splits.test_end);
+  EXPECT_EQ(splits.test_end, index.num_snapshots());
+
+  for (std::int64_t i : boundary_ids(splits)) {
+    const auto [sx, sy] = standard.get(i);
+    const auto [ix, iy] = index.get(i);
+    ASSERT_EQ(sx.shape(), ix.shape()) << "x shape @" << i;
+    ASSERT_EQ(sy.shape(), iy.shape()) << "y shape @" << i;
+    EXPECT_EQ(ops::max_abs_diff(sx.contiguous(), ix.contiguous()), 0.0f)
+        << "x @" << i;
+    EXPECT_EQ(ops::max_abs_diff(sy.contiguous(), iy.contiguous()), 0.0f)
+        << "y @" << i;
+  }
+}
+
+TEST_P(SplitBoundaries, SplitsAgreeBetweenPipelines) {
+  const DatasetSpec spec = boundary_spec(GetParam());
+  SensorNetwork net = network_for(spec);
+  Tensor raw = generate_signal(spec, net, 52);
+  StandardDataset standard(raw, spec);
+  IndexDataset index(raw, spec);
+  EXPECT_EQ(standard.splits().train_end, index.splits().train_end);
+  EXPECT_EQ(standard.splits().val_begin, index.splits().val_begin);
+  EXPECT_EQ(standard.splits().val_end, index.splits().val_end);
+  EXPECT_EQ(standard.splits().test_begin, index.splits().test_begin);
+  EXPECT_EQ(standard.splits().test_end, index.splits().test_end);
+  EXPECT_DOUBLE_EQ(standard.scaler().mean, index.scaler().mean);
+  EXPECT_DOUBLE_EQ(standard.scaler().stddev, index.scaler().stddev);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, SplitBoundaries, ::testing::Values(2, 6, 12));
+
+}  // namespace
+}  // namespace pgti::data
