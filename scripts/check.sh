@@ -5,8 +5,11 @@
 #   scripts/check.sh [build-dir]
 #
 # Environment:
-#   JOBS       parallelism (default: nproc)
-#   CTEST_ARGS extra ctest arguments (default: -L tier1)
+#   JOBS           parallelism (default: nproc)
+#   CTEST_ARGS     extra ctest arguments (default: -L tier1)
+#   PGTI_SANITIZE  set to "thread" to ALSO build <build-dir>-tsan with
+#                  -DPGTI_SANITIZE=thread and run the dist_* tier-1
+#                  suites under ThreadSanitizer.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -16,3 +19,12 @@ jobs="${JOBS:-$(nproc)}"
 cmake -B "${build_dir}" -S "${repo_root}" -DPGTI_WERROR=ON
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:--L tier1}
+
+if [ "${PGTI_SANITIZE:-}" = "thread" ]; then
+  tsan_dir="${build_dir}-tsan"
+  echo
+  echo "== ThreadSanitizer pass (dist_* suites) in ${tsan_dir} =="
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DPGTI_SANITIZE=thread -DPGTI_WERROR=ON
+  cmake --build "${tsan_dir}" -j "${jobs}"
+  ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" -L tier1 -R '^dist_'
+fi

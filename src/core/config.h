@@ -66,6 +66,10 @@ struct DistConfig {
   std::uint64_t seed = 42;
   std::int64_t max_batches_per_epoch = 0;
   std::int64_t max_val_batches = 0;
+  /// Per-rank LRU capacity (in snapshots) of the baseline store's
+  /// remote-fetch cache; 0 = auto (at least one full batch so every
+  /// announced snapshot survives until it is staged).
+  std::int64_t store_cache_snapshots = 0;
 };
 
 }  // namespace pgti::core

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "core/trainer.h"
+#include "data/snapshot_provider.h"
 #include "dist/ddp.h"
 #include "dist/dist_store.h"
 #include "optim/optim.h"
@@ -50,16 +52,23 @@ DistResult DistTrainer::run() {
   // this favours the baseline, which the paper also observes at high
   // worker counts).
   WallTimer pre_timer;
-  std::optional<data::StandardDataset> shared_standard;
   std::optional<dist::DistStore> store;
   data::StandardScaler global_scaler;
   if (uses_store(cfg_.mode)) {
-    shared_standard.emplace(raw, spec);
-    const std::int64_t snapshot_bytes =
-        2 * spec.horizon * spec.nodes * spec.features *
-        static_cast<std::int64_t>(sizeof(float));
-    store.emplace(s, snapshot_bytes, cfg_.world, cluster.network(),
-                  /*consolidate_requests=*/true);
+    // The baseline's data plane is now a real partitioned store: the
+    // materialized snapshots live in the store, each rank owns a
+    // contiguous shard, and remote batches move actual bytes through a
+    // bounded per-rank cache.
+    // Clamped to one full batch: a smaller cache would evict announced
+    // snapshots before the loader stages them, double-pricing (and
+    // double-copying) every remote fetch versus the consolidated model.
+    const std::int64_t cache_capacity =
+        cfg_.store_cache_snapshots > 0
+            ? std::max(cfg_.store_cache_snapshots, spec.batch_size)
+            : std::max(dist::DistStore::kDefaultCacheSnapshots,
+                       2 * spec.batch_size);
+    store.emplace(data::StandardDataset(raw, spec), cfg_.world, cluster.network(),
+                  /*consolidate_requests=*/true, cache_capacity);
   } else if (cfg_.mode == DistMode::kGeneralizedIndex) {
     Tensor stage1 = data::add_time_feature(raw, spec, kHostSpace);
     global_scaler = data::fit_scaler(stage1, spec);
@@ -75,12 +84,17 @@ DistResult DistTrainer::run() {
     const int world = comm.world();
 
     // ---- local data plane -------------------------------------------
+    // Both training modes flow through the SnapshotProvider seam: the
+    // index family serves rank-local IndexDatasets, the baseline serves
+    // the partitioned DistStore; the DataLoader cannot tell them apart.
     WallTimer local_pre;
     std::optional<data::IndexDataset> local_index;       // dist-index: full copy
     std::optional<data::IndexDataset> part_train;        // generalized
     std::optional<data::IndexDataset> part_val;          // generalized
-    std::unique_ptr<data::SnapshotSource> train_source;
-    std::unique_ptr<data::SnapshotSource> val_source;
+    std::optional<data::IndexProvider> train_index_provider;
+    std::optional<data::IndexProvider> val_index_provider;
+    data::SnapshotProvider* train_provider = nullptr;
+    data::SnapshotProvider* val_provider = nullptr;
     std::int64_t train_lo = splits.train_begin, train_hi = splits.train_end;
     std::int64_t val_lo = splits.val_begin, val_hi = splits.val_end;
     data::SamplerOptions train_sampler{train_shuffle_for(cfg_.mode), rank, world,
@@ -91,14 +105,16 @@ DistResult DistTrainer::run() {
     switch (cfg_.mode) {
       case DistMode::kDistributedIndex: {
         local_index.emplace(raw, spec);  // full local copy per worker
-        train_source = std::make_unique<data::IndexSource>(*local_index);
-        val_source = std::make_unique<data::IndexSource>(*local_index);
+        train_index_provider.emplace(*local_index);
+        val_index_provider.emplace(*local_index);
+        train_provider = &*train_index_provider;
+        val_provider = &*val_index_provider;
         break;
       }
       case DistMode::kBaselineDdp:
       case DistMode::kBaselineDdpBatchShuffle: {
-        train_source = std::make_unique<data::StandardSource>(*shared_standard);
-        val_source = std::make_unique<data::StandardSource>(*shared_standard);
+        train_provider = &*store;
+        val_provider = &*store;
         break;
       }
       case DistMode::kGeneralizedIndex: {
@@ -123,8 +139,10 @@ DistResult DistTrainer::run() {
         part_val.emplace(raw.slice(0, ventry_lo, std::max<std::int64_t>(ventry_len, 0))
                              .clone(),
                          spec, ventry_lo, global_scaler, val_lo, val_hi);
-        train_source = std::make_unique<data::IndexSource>(*part_train);
-        val_source = std::make_unique<data::IndexSource>(*part_val);
+        train_index_provider.emplace(*part_train);
+        val_index_provider.emplace(*part_val);
+        train_provider = &*train_index_provider;
+        val_provider = &*val_index_provider;
         // Partitioned data means each worker samples only its own
         // range; the loader sees world=1 over LOCAL snapshot ids
         // (IndexDataset::get maps them back to global windows).
@@ -139,6 +157,8 @@ DistResult DistTrainer::run() {
         break;
       }
     }
+    data::RankSource train_source(*train_provider, rank);
+    data::RankSource val_source(*val_provider, rank);
     if (rank == 0) local_pre_seconds_rank0 = local_pre.seconds();
 
     // ---- model replica -------------------------------------------------
@@ -158,13 +178,13 @@ DistResult DistTrainer::run() {
     train_opt.batch_size = spec.batch_size;
     train_opt.sampler = train_sampler;
     train_opt.drop_last = true;
-    data::DataLoader train_loader(*train_source, train_opt, train_lo, train_hi);
+    data::DataLoader train_loader(train_source, train_opt, train_lo, train_hi);
 
     data::LoaderOptions val_opt;
     val_opt.batch_size = spec.batch_size;
     val_opt.sampler = val_sampler;
     val_opt.drop_last = false;
-    data::DataLoader val_loader(*val_source, val_opt, val_lo, val_hi);
+    data::DataLoader val_loader(val_source, val_opt, val_lo, val_hi);
 
     // Every rank must issue the SAME number of gradient all-reduces per
     // epoch or the collective deadlocks; ranks can own unequal shards
@@ -189,7 +209,9 @@ DistResult DistTrainer::run() {
       double mae_sum = 0.0;
       std::int64_t batches = 0;
       while (batches < steps_per_epoch && train_loader.next(batch)) {
-        if (store) cluster.charge_seconds(store->fetch_batch(rank, batch.indices));
+        // next() staged the batch through the provider; charge the
+        // modeled fetch time it accumulated doing so.
+        cluster.charge_seconds(train_provider->drain_modeled_seconds(rank));
         std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
         Variable loss = seq_loss(outputs, batch.y);
         opt.zero_grad();
@@ -206,7 +228,7 @@ DistResult DistTrainer::run() {
       double val_sum = 0.0;
       std::int64_t val_batches = 0;
       while (val_loader.next(batch)) {
-        if (store) cluster.charge_seconds(store->fetch_batch(rank, batch.indices));
+        cluster.charge_seconds(val_provider->drain_modeled_seconds(rank));
         std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
         val_sum += seq_mae(outputs, batch.y);
         ++val_batches;
@@ -219,7 +241,7 @@ DistResult DistTrainer::run() {
       const double g_val_cnt = comm.allreduce_scalar_sum(static_cast<double>(val_batches));
 
       if (rank == 0) {
-        const double sigma = train_source->scaler().stddev;
+        const double sigma = train_source.scaler().stddev;
         EpochMetrics em;
         em.epoch = epoch;
         em.train_mae = g_train_cnt > 0 ? g_train_sum / g_train_cnt * sigma : 0.0;
@@ -244,6 +266,20 @@ DistResult DistTrainer::run() {
   if (store) {
     result.store = store->stats();
     result.modeled_fetch_seconds = result.store.modeled_seconds;
+    // The fetch ledger is now backed by real movement: every modeled
+    // remote byte must have been physically copied or absorbed by the
+    // bounded per-rank cache.  A mismatch means the model and the
+    // byte-moving store disagree — fail loudly rather than report
+    // fiction.
+    if (result.store.remote_bytes !=
+        result.store.bytes_copied + result.store.cache_hit_bytes) {
+      throw std::logic_error(
+          "DistTrainer: DistStore modeled remote bytes (" +
+          std::to_string(result.store.remote_bytes) +
+          ") != bytes physically copied (" +
+          std::to_string(result.store.bytes_copied) + ") + cache-absorbed (" +
+          std::to_string(result.store.cache_hit_bytes) + ")");
+    }
   }
   result.modeled_allreduce_seconds =
       cluster.modeled_comm_seconds() - result.modeled_fetch_seconds;

@@ -8,15 +8,20 @@
 //    IndexDataset copy (memory grows with W, as the paper reports) and
 //    samples a disjoint chunk of the same global permutation; zero
 //    data communication.
-//  * kBaselineDdp        — one materialized StandardDataset is
-//    "distributed" across workers (DistStore ownership map); every
-//    batch's remote snapshots are fetch-accounted, Dask-style
-//    batch-consolidated.
+//  * kBaselineDdp        — the materialized StandardDataset lives in a
+//    partitioned DistStore; every batch's remote snapshots are
+//    physically copied through a bounded per-rank LRU cache
+//    (Dask-style batch-consolidated requests) and the fetch ledger is
+//    asserted against the bytes that actually moved.
 //  * kGeneralizedIndex   — raw entries are partitioned (plus the
 //    2*horizon-1 boundary overlap); batch-level shuffling keeps every
 //    access local (paper §5.4).
 //  * kBaselineDdpBatchShuffle — the baseline with batch-level shuffle
 //    (paper Fig. 9's DDP bars).
+//
+// All four strategies feed the DataLoader through the
+// data::SnapshotProvider seam (snapshot_provider.h), so the index and
+// baseline data planes are interchangeable behind it.
 //
 // Network/PCIe time is modeled (NetworkModel); accuracy results are
 // real computation.  Runtime curves at paper scale come from

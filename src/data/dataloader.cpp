@@ -147,9 +147,13 @@ bool DataLoader::next(Batch& out) {
   out.indices.clear();
   out.indices.reserve(static_cast<std::size_t>(b));
   for (std::int64_t i = 0; i < b; ++i) {
-    const std::int64_t snapshot = order_[cursor_ + static_cast<std::size_t>(i)];
-    out.indices.push_back(snapshot);
-    const auto [xv, yv] = source_->get(snapshot);
+    out.indices.push_back(order_[cursor_ + static_cast<std::size_t>(i)]);
+  }
+  // Announce the whole batch before staging it: remote-backed sources
+  // move the missing snapshots in one consolidated request per owner.
+  source_->prefetch_batch(out.indices);
+  for (std::int64_t i = 0; i < b; ++i) {
+    const auto [xv, yv] = source_->get(out.indices[static_cast<std::size_t>(i)]);
     asm_x->select(0, i).copy_from(xv);
     // Target is the metric feature only.
     asm_y->select(0, i).copy_from(yv.slice(-1, 0, 1));

@@ -29,11 +29,19 @@
 
 namespace pgti::data {
 
-/// Uniform view over the three dataset representations.
+/// Uniform view over the dataset representations (and, via RankSource
+/// in snapshot_provider.h, over rank-partitioned remote stores).
 class SnapshotSource {
  public:
   virtual ~SnapshotSource() = default;
   virtual std::pair<Tensor, Tensor> get(std::int64_t i) const = 0;
+  /// Called by the loader once per batch with the snapshot ids about
+  /// to be staged, before any get() for them.  Sources backed by
+  /// remote storage override it to fetch in consolidated requests;
+  /// purely local sources ignore it.
+  virtual void prefetch_batch(const std::vector<std::int64_t>& ids) const {
+    (void)ids;
+  }
   virtual std::int64_t num_snapshots() const = 0;
   virtual MemorySpaceId space() const = 0;
   virtual const StandardScaler& scaler() const = 0;

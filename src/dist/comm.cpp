@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 
 namespace pgti::dist {
 
@@ -20,7 +21,7 @@ void Communicator::allreduce_mean(float* data, std::int64_t n) {
 double Communicator::allreduce_scalar_sum(double value) {
   Cluster& c = *cluster_;
   c.double_slots_[static_cast<std::size_t>(rank_)] = value;
-  c.sync_point();  // all values published
+  c.sync_point(rank_);  // all values published
   if (rank_ == 0) {
     double acc = 0.0;
     for (int r = 0; r < c.world_; ++r) {
@@ -35,16 +36,16 @@ double Communicator::allreduce_scalar_sum(double value) {
     }
     c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
   }
-  c.sync_point();  // sum ready
+  c.sync_point(rank_);  // sum ready
   const double result = c.scalar_result_;
-  c.sync_point();  // everyone read; scratch reusable
+  c.sync_point(rank_);  // everyone read; scratch reusable
   return result;
 }
 
 std::vector<double> Communicator::allgather(double value) {
   Cluster& c = *cluster_;
   c.double_slots_[static_cast<std::size_t>(rank_)] = value;
-  c.sync_point();  // all values published
+  c.sync_point(rank_);  // all values published
   std::vector<double> result(c.double_slots_.begin(), c.double_slots_.end());
   if (rank_ == 0) {
     {
@@ -53,7 +54,7 @@ std::vector<double> Communicator::allgather(double value) {
     }
     c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
   }
-  c.sync_point();  // everyone copied; scratch reusable
+  c.sync_point(rank_);  // everyone copied; scratch reusable
   return result;
 }
 
@@ -70,7 +71,7 @@ void Communicator::broadcast(float* data, std::int64_t n, int root) {
     c.stats_.broadcast_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
                                 static_cast<std::uint64_t>(c.world_ - 1);
   }
-  c.sync_point();  // source pointer published
+  c.sync_point(rank_);  // source pointer published
   if (rank_ != root) {
     std::memcpy(data, c.broadcast_src_, static_cast<std::size_t>(n) * sizeof(float));
   }
@@ -78,7 +79,7 @@ void Communicator::broadcast(float* data, std::int64_t n, int root) {
     c.sim_clock_.add(c.network_.allreduce_seconds(
         n * static_cast<std::int64_t>(sizeof(float)), c.world_));
   }
-  c.sync_point();  // everyone copied; source frame may unwind
+  c.sync_point(rank_);  // everyone copied; source frame may unwind
 }
 
 void Communicator::barrier() {
@@ -87,14 +88,25 @@ void Communicator::barrier() {
     std::lock_guard<std::mutex> lk(c.mu_);
     ++c.stats_.barrier_count;
   }
-  c.sync_point();
+  c.sync_point(rank_);
 }
 
 Cluster::Cluster(int world, NetworkModel network)
     : world_(world), network_(network) {
   if (world < 1) throw std::invalid_argument("Cluster: world must be >= 1");
-  float_slots_.assign(static_cast<std::size_t>(world), nullptr);
   double_slots_.assign(static_cast<std::size_t>(world), 0.0);
+  sync_seen_.assign(static_cast<std::size_t>(world), 0);
+}
+
+void Cluster::inject_fault_at_sync_point(int rank, std::uint64_t nth,
+                                         std::string message) {
+  if (rank < 0 || rank >= world_) {
+    throw std::invalid_argument("inject_fault_at_sync_point: bad rank");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_rank_ = rank;
+  fault_at_ = nth;
+  fault_message_ = std::move(message);
 }
 
 void Cluster::run(const std::function<void(Communicator&)>& fn) {
@@ -105,9 +117,11 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
     failed_ = false;
     first_error_ = nullptr;
     first_error_is_peer_failure_ = false;
-    std::fill(float_slots_.begin(), float_slots_.end(), nullptr);
     std::fill(double_slots_.begin(), double_slots_.end(), 0.0);
+    std::fill(sync_seen_.begin(), sync_seen_.end(), 0);
     broadcast_src_ = nullptr;
+    // Modeled time is per-run; traffic stats accumulate across runs.
+    sim_clock_.reset();
   }
 
   std::vector<std::thread> workers;
@@ -141,7 +155,13 @@ CommStats Cluster::stats() const {
   return stats_;
 }
 
-void Cluster::sync_point() {
+void Cluster::sync_point(int rank) {
+  // Per-rank sync counting feeds the deterministic fault injection the
+  // failure-depth tests use; each slot is touched only by its rank.
+  const std::uint64_t seen = sync_seen_[static_cast<std::size_t>(rank)]++;
+  if (rank == fault_rank_ && seen == fault_at_) {
+    throw std::runtime_error(fault_message_);
+  }
   std::unique_lock<std::mutex> lk(mu_);
   if (failed_) throw PeerFailureError();
   if (++arrived_ == world_) {
@@ -167,24 +187,74 @@ void Cluster::record_failure(std::exception_ptr error, bool is_peer_failure) {
   cv_.notify_all();
 }
 
+int Cluster::allreduce_stages(int world) noexcept {
+  // Prefix-doubling: after stage s every chunk holds the rank-ordered
+  // sum of ranks [0, min(2^(s+1), world)).  ceil(log2(world)) stages;
+  // a single rank still runs one (copy) stage.
+  int stages = 1;
+  while ((std::int64_t{1} << stages) < world) ++stages;
+  return stages;
+}
+
+int Cluster::allreduce_sync_points(int world) noexcept {
+  // scratch sizing + input staging + one per tree stage + final gather.
+  return allreduce_stages(world) + 3;
+}
+
 void Cluster::allreduce(float* data, std::int64_t n, int rank, bool mean) {
   const std::size_t count = static_cast<std::size_t>(n);
-  float_slots_[static_cast<std::size_t>(rank)] = data;
-  sync_point();  // all rank buffers published
   if (rank == 0) {
-    // Rank-ordered accumulation on one thread: the result is a pure
-    // function of the inputs, so every rank receives identical bits no
-    // matter how threads interleave.
+    // Safe pre-sync: every rank passed the previous collective's final
+    // sync point before any rank could enter this one, so nobody is
+    // still touching the scratch buffers.
+    input_buf_.resize(count * static_cast<std::size_t>(world_));
     reduce_buf_.resize(count);
-    std::memcpy(reduce_buf_.data(), float_slots_[0], count * sizeof(float));
-    for (int r = 1; r < world_; ++r) {
-      const float* src = float_slots_[static_cast<std::size_t>(r)];
-      for (std::size_t i = 0; i < count; ++i) reduce_buf_[i] += src[i];
+  }
+  sync_point(rank);  // scratch sized
+
+  // Stage the input in cluster-owned memory: tree stages only ever
+  // read input_buf_/reduce_buf_, so a rank unwinding mid-collective
+  // (PeerFailureError, injected fault) cannot invalidate memory a
+  // surviving peer still reads.
+  std::memcpy(input_buf_.data() + count * static_cast<std::size_t>(rank), data,
+              count * sizeof(float));
+  sync_point(rank);  // all inputs staged
+
+  // Reduce-scatter layout: this rank owns one contiguous element chunk
+  // and accumulates every rank's contribution for it.  Per-element
+  // addition order is strictly rank 0..W-1 regardless of how stages
+  // split the work, so the result is bit-identical to a flat
+  // rank-ordered reduction and invariant to thread scheduling; the W
+  // chunks reduce in parallel.
+  const std::int64_t chunk = (n + world_ - 1) / world_;
+  const std::int64_t clo = std::min<std::int64_t>(chunk * rank, n);
+  const std::int64_t chi = std::min<std::int64_t>(clo + chunk, n);
+  float* out = reduce_buf_.data();
+
+  const int stages = allreduce_stages(world_);
+  for (int s = 0; s < stages; ++s) {
+    // Fixed pairing schedule: stage s merges source ranks
+    // [2^s, 2^(s+1)) into the accumulated prefix [0, 2^s) (stage 0
+    // also seeds the chunk with rank 0's input).
+    const int src_begin = s == 0 ? 0 : 1 << s;
+    const int src_end = std::min(world_, 1 << (s + 1));
+    for (int r = src_begin; r < src_end; ++r) {
+      const float* src = input_buf_.data() + count * static_cast<std::size_t>(r);
+      if (r == 0) {
+        std::memcpy(out + clo, src + clo,
+                    static_cast<std::size_t>(chi - clo) * sizeof(float));
+      } else {
+        for (std::int64_t i = clo; i < chi; ++i) out[i] += src[i];
+      }
     }
-    if (mean) {
+    if (s + 1 == stages && mean) {
       const float inv = 1.0f / static_cast<float>(world_);
-      for (float& v : reduce_buf_) v *= inv;
+      for (std::int64_t i = clo; i < chi; ++i) out[i] *= inv;
     }
+    sync_point(rank);  // tree stage s complete on every chunk
+  }
+
+  if (rank == 0) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.allreduce_count;
@@ -194,9 +264,8 @@ void Cluster::allreduce(float* data, std::int64_t n, int rank, bool mean) {
     sim_clock_.add(network_.allreduce_seconds(
         n * static_cast<std::int64_t>(sizeof(float)), world_));
   }
-  sync_point();  // reduced buffer ready
-  std::memcpy(data, reduce_buf_.data(), count * sizeof(float));
-  sync_point();  // everyone copied; scratch reusable
+  std::memcpy(data, out, count * sizeof(float));
+  sync_point(rank);  // everyone gathered; scratch reusable
 }
 
 }  // namespace pgti::dist

@@ -1,21 +1,34 @@
 // In-process distributed runtime: W worker threads + collectives.
 //
 // Cluster::run spawns one thread per rank and hands each a
-// Communicator.  Collectives are rank-ordered and therefore bit-exact:
-// every rank observes the identical result bits regardless of thread
-// scheduling, which is what makes W-worker training reproduce
-// single-worker training exactly (paper §5.3's "identical accuracy"
-// claim depends on it).
+// Communicator.  allreduce_{sum,mean} executes a deterministic tree
+// all-reduce (reduce-scatter over contiguous element chunks + shared
+// gather): every rank owns ~n/W elements and accumulates all W
+// contributions for them through a fixed prefix-doubling stage
+// schedule — stage s adds source ranks [2^s, 2^(s+1)) — so per-element
+// accumulation is strictly rank-ordered 0..W-1.  The result is
+// therefore a pure function of the inputs: bit-identical to a flat
+// rank-ordered reduction, identical across runs, thread schedules, and
+// world sizes (including non-powers-of-two), which is what makes
+// W-worker training reproduce single-worker training exactly (paper
+// §5.3's "identical accuracy" claim depends on it).  Unlike the flat
+// reduction, the W chunks reduce in parallel.
 //
 // Failure semantics mirror a well-behaved NCCL + torchrun stack: when
 // any worker throws, peers blocked in a collective are released with
-// PeerFailureError instead of deadlocking, the cluster unwinds, and
-// run() rethrows the ORIGINAL worker exception.
+// PeerFailureError instead of deadlocking — at EVERY tree stage, since
+// each stage ends in a sync point — the cluster unwinds, and run()
+// rethrows the ORIGINAL worker exception.  All-reduce inputs are
+// staged into cluster-owned memory before any stage runs, so an
+// unwinding rank can never invalidate a buffer a surviving peer still
+// reads.
 //
 // Wall-clock is measured; network time is *modeled*: each collective
 // charges its ring-all-reduce cost (NetworkModel) to a SimClock, so
 // experiment runtimes compose measured compute with modeled
-// communication (see runtime/timer.h).
+// communication (see runtime/timer.h).  Traffic stats accumulate
+// across run() calls; modeled time is per-run (run() resets the
+// SimClock so back-to-back runs report independent modeled times).
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +37,7 @@
 #include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dist/cluster_model.h"
@@ -82,8 +96,8 @@ class Communicator {
 
 /// W thread-backed workers sharing one address space — the test- and
 /// bench-scale stand-in for a multi-GPU job.  Reusable: each run()
-/// resets failure state; traffic stats and modeled time accumulate
-/// across runs.
+/// resets failure state and the modeled-time clock; traffic stats
+/// accumulate across runs.
 class Cluster {
  public:
   explicit Cluster(int world, NetworkModel network = NetworkModel{});
@@ -96,11 +110,31 @@ class Cluster {
   int world() const noexcept { return world_; }
   const NetworkModel& network() const noexcept { return network_; }
 
+  /// Reduce-stage count (tree depth) of one all-reduce at `world`
+  /// ranks: ceil(log2(world)), and 1 for a single rank (the copy
+  /// stage).  Stage s accumulates source ranks [2^s, 2^(s+1)).
+  static int allreduce_stages(int world) noexcept;
+
+  /// Internal sync points one all-reduce passes through (scratch
+  /// sizing + input staging + one per tree stage + final gather).
+  /// Peers must be releasable by PeerFailureError at every one of
+  /// them; tests/dist_determinism_test.cpp sweeps them all.
+  static int allreduce_sync_points(int world) noexcept;
+
+  /// Deterministic fault injection for failure-semantics tests: worker
+  /// `rank` throws std::runtime_error(message) upon entering its `nth`
+  /// sync point (0-based, counted per rank and reset by run()).  Lets
+  /// a test park peers at any internal tree stage of a collective.
+  /// Inputs are staged into cluster-owned memory before the reduction,
+  /// so a rank unwinding mid-collective can never invalidate memory a
+  /// surviving peer still reads.
+  void inject_fault_at_sync_point(int rank, std::uint64_t nth, std::string message);
+
   /// Collective-traffic totals so far.
   CommStats stats() const;
 
-  /// Modeled communication seconds so far (collectives plus anything
-  /// charged via charge_seconds).
+  /// Modeled communication seconds of the current/most recent run
+  /// (collectives plus anything charged via charge_seconds).
   double modeled_comm_seconds() const { return sim_clock_.seconds(); }
 
   /// Adds externally modeled time (e.g. DistStore fetches) to the
@@ -111,7 +145,9 @@ class Cluster {
   friend class Communicator;
 
   /// Sense-reversing barrier; throws PeerFailureError once failed_.
-  void sync_point();
+  /// `rank` identifies the arriving worker (fault injection + per-rank
+  /// sync counting).
+  void sync_point(int rank);
   /// Records a worker exception and releases ranks blocked in sync_point.
   void record_failure(std::exception_ptr error, bool is_peer_failure);
 
@@ -129,9 +165,18 @@ class Cluster {
   std::exception_ptr first_error_;
   bool first_error_is_peer_failure_ = false;
 
-  // Collective scratch state, valid between sync points.
-  std::vector<const float*> float_slots_;
+  // Fault injection (test-only); fault_rank_ == -1 means disabled.
+  int fault_rank_ = -1;
+  std::uint64_t fault_at_ = 0;
+  std::string fault_message_;
+  std::vector<std::uint64_t> sync_seen_;  // per-rank, own-thread only
+
+  // Collective scratch state, valid between sync points.  input_buf_
+  // holds every rank's staged all-reduce input so tree stages never
+  // read a caller's (unwindable) buffer; reduce_buf_ holds the chunks
+  // being reduced.
   std::vector<double> double_slots_;
+  std::vector<float> input_buf_;
   std::vector<float> reduce_buf_;
   double scalar_result_ = 0.0;
   const float* broadcast_src_ = nullptr;

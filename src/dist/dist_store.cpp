@@ -5,6 +5,15 @@
 #include <string>
 
 namespace pgti::dist {
+namespace {
+
+std::int64_t spec_snapshot_bytes(const data::DatasetSpec& spec) {
+  // One materialized (x, y) snapshot: both [horizon, N, F] float arrays.
+  return 2 * spec.horizon * spec.nodes * spec.features *
+         static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace
 
 DistStore::DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes,
                      int world, NetworkModel network, bool consolidate_requests)
@@ -18,6 +27,15 @@ DistStore::DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes,
   }
   if (world < 1) throw std::invalid_argument("DistStore: world must be >= 1");
   chunk_ = (num_snapshots + world - 1) / world;
+  ranks_.resize(static_cast<std::size_t>(world));
+}
+
+DistStore::DistStore(data::StandardDataset dataset, int world, NetworkModel network,
+                     bool consolidate_requests, std::int64_t cache_snapshots_per_rank)
+    : DistStore(dataset.num_snapshots(), spec_snapshot_bytes(dataset.spec()), world,
+                network, consolidate_requests) {
+  cache_capacity_ = std::max<std::int64_t>(0, cache_snapshots_per_rank);
+  dataset_.emplace(std::move(dataset));
 }
 
 int DistStore::owner(std::int64_t snapshot) const {
@@ -38,7 +56,68 @@ std::pair<std::int64_t, std::int64_t> DistStore::partition(int rank) const {
   return {lo, hi};
 }
 
+const data::StandardDataset& DistStore::dataset_ref() const {
+  if (!dataset_) {
+    throw std::logic_error("DistStore: data access requires a materialized store "
+                           "(ledger-only stores carry no snapshot tensors)");
+  }
+  return *dataset_;
+}
+
+Tensor DistStore::shard_x(int rank) const {
+  const auto [lo, hi] = partition(rank);
+  return dataset_ref().x().slice(0, lo, hi - lo);
+}
+
+Tensor DistStore::shard_y(int rank) const {
+  const auto [lo, hi] = partition(rank);
+  return dataset_ref().y().slice(0, lo, hi - lo);
+}
+
+MemorySpaceId DistStore::space() const { return dataset_ref().x().space(); }
+const data::StandardScaler& DistStore::scaler() const { return dataset_ref().scaler(); }
+const data::SplitRanges& DistStore::splits() const { return dataset_ref().splits(); }
+const data::DatasetSpec& DistStore::spec() const { return dataset_ref().spec(); }
+
+std::pair<Tensor, Tensor> DistStore::cache_fetch(int rank, std::int64_t i) {
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  auto it = rs.cache.find(i);
+  if (it != rs.cache.end()) {
+    // The cache absorbed a fetch the model priced: a snapshot's worth
+    // of modeled bytes that did not physically move.
+    rs.lru.splice(rs.lru.begin(), rs.lru, it->second.lru_it);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.cache_hits;
+    stats_.cache_hit_bytes += static_cast<std::uint64_t>(snapshot_bytes_);
+    return {it->second.x, it->second.y};
+  }
+
+  // Miss: this is where remote bytes physically move — a deep copy of
+  // the owning shard's snapshot into the requesting rank's cache.
+  const auto [xv, yv] = dataset_ref().get(i);
+  Tensor x = xv.clone();
+  Tensor y = yv.clone();
+  const std::uint64_t moved =
+      static_cast<std::uint64_t>(x.storage_bytes() + y.storage_bytes());
+  rs.lru.push_front(i);
+  rs.cache.emplace(i, CacheEntry{x, y, rs.lru.begin()});
+  std::uint64_t evictions = 0;
+  while (static_cast<std::int64_t>(rs.cache.size()) > cache_capacity_) {
+    rs.cache.erase(rs.lru.back());
+    rs.lru.pop_back();
+    ++evictions;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.bytes_copied += moved;
+  stats_.cache_evictions += evictions;
+  return {x, y};
+}
+
 double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapshots) {
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(world_) + ")");
+  }
   std::uint64_t local = 0;
   std::uint64_t remote = 0;
   std::uint64_t messages = 0;
@@ -61,6 +140,9 @@ double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapsho
     } else {
       ++messages;
     }
+    // Materialized stores move the bytes right here: the snapshot
+    // lands in the rank's cache (hit/miss classified inside).
+    if (dataset_) cache_fetch(rank, snapshot);
   }
 
   const std::uint64_t bytes =
@@ -69,6 +151,7 @@ double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapsho
       remote > 0 ? network_.fetch_seconds(static_cast<std::int64_t>(bytes),
                                           static_cast<std::int64_t>(messages))
                  : 0.0;
+  ranks_[static_cast<std::size_t>(rank)].pending_modeled_seconds += seconds;
 
   std::lock_guard<std::mutex> lk(mu_);
   stats_.local_snapshots += local;
@@ -77,6 +160,54 @@ double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapsho
   stats_.request_messages += messages;
   stats_.modeled_seconds += seconds;
   return seconds;
+}
+
+std::pair<Tensor, Tensor> DistStore::fetch(int rank, std::int64_t i) {
+  const int own = owner(i);
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(world_) + ")");
+  }
+  const data::StandardDataset& ds = dataset_ref();
+  if (own == rank) return ds.get(i);  // zero-copy view of the owned shard
+
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  auto it = rs.cache.find(i);
+  if (it != rs.cache.end()) {
+    // Announced via prefetch_batch (or still resident): the batch-level
+    // accounting already classified this snapshot; reading the staged
+    // copy is free.
+    rs.lru.splice(rs.lru.begin(), rs.lru, it->second.lru_it);
+    return {it->second.x, it->second.y};
+  }
+
+  // Unannounced remote access: price and move it as its own
+  // single-snapshot request.
+  const double seconds = network_.fetch_seconds(snapshot_bytes_, 1);
+  rs.pending_modeled_seconds += seconds;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.remote_snapshots;
+    stats_.remote_bytes += static_cast<std::uint64_t>(snapshot_bytes_);
+    ++stats_.request_messages;
+    stats_.modeled_seconds += seconds;
+  }
+  return cache_fetch(rank, i);
+}
+
+void DistStore::prefetch_batch(int rank, const std::vector<std::int64_t>& ids) {
+  fetch_batch(rank, ids);
+}
+
+double DistStore::drain_modeled_seconds(int rank) {
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(world_) + ")");
+  }
+  double& pending = ranks_[static_cast<std::size_t>(rank)].pending_modeled_seconds;
+  const double out = pending;
+  pending = 0.0;
+  return out;
 }
 
 StoreStats DistStore::stats() const {

@@ -3,39 +3,81 @@
 // The baseline materializes every snapshot and partitions them
 // contiguously across workers; a worker whose shuffled batch contains
 // snapshots owned elsewhere must fetch them over the network.
-// DistStore is that ownership map plus the fetch ledger: local
-// accesses are free, remote accesses are counted (snapshots, bytes,
-// request messages) and priced by the NetworkModel.  With
-// consolidate_requests, all items owned by one peer travel in a single
-// request per batch — the Dask batching optimization §5.1 applies to
-// the baseline to keep the comparison fair.
+//
+// DistStore exists in two modes:
+//
+//  * Ledger-only (num_snapshots/snapshot_bytes ctor): the ownership
+//    map plus fetch accounting from PR 1 — remote accesses are counted
+//    (snapshots, bytes, request messages) and priced by the
+//    NetworkModel, but no data exists.  ClusterModel-style validation
+//    and microbenches use this mode.
+//  * Materialized (StandardDataset ctor): a real partitioned snapshot
+//    store implementing data::SnapshotProvider.  Each rank owns the
+//    contiguous shard [partition(rank)) of the materialized x/y arrays
+//    (shard_x/shard_y expose the owned slices); fetch() returns actual
+//    tensor data — a zero-copy view for rank-local snapshots, a real
+//    copied tensor served through a bounded per-rank LRU cache for
+//    remote ones.  The StoreStats ledger keeps the PR 1 *model*
+//    (every remote access priced, consolidation per owner) and adds
+//    the *measured* movement (bytes_copied, cache hits), so modeled
+//    bytes can be asserted against bytes that physically moved:
+//    remote_bytes == bytes_copied + cache_hit_bytes always holds.
+//
+// With consolidate_requests, all items owned by one peer travel in a
+// single request per batch — the Dask batching optimization §5.1
+// applies to the baseline to keep the comparison fair.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "data/preprocess.h"
+#include "data/snapshot_provider.h"
 #include "dist/cluster_model.h"
 
 namespace pgti::dist {
 
-/// Remote-fetch ledger (what DistResult reports).
+/// Remote-fetch ledger (what DistResult reports).  The first block is
+/// the fetch *model* (every remote access priced); the second is the
+/// *measured* movement of a materialized store.  Invariant for
+/// materialized stores: remote_bytes == bytes_copied + cache_hit_bytes.
 struct StoreStats {
   std::uint64_t local_snapshots = 0;
   std::uint64_t remote_snapshots = 0;
   std::uint64_t remote_bytes = 0;
   std::uint64_t request_messages = 0;
   double modeled_seconds = 0.0;
+
+  std::uint64_t bytes_copied = 0;     ///< bytes physically cloned on cache misses
+  std::uint64_t cache_hits = 0;       ///< remote accesses served from the LRU cache
+  std::uint64_t cache_hit_bytes = 0;  ///< modeled bytes the cache absorbed
+  std::uint64_t cache_evictions = 0;
 };
 
 /// Contiguous ceil-chunked ownership of `num_snapshots` snapshots
-/// across `world` workers, with per-batch fetch accounting.
-/// Thread-safe: worker threads call fetch_batch concurrently.
-class DistStore {
+/// across `world` workers, with per-batch fetch accounting and
+/// (materialized mode) real byte-moving snapshot storage.
+/// Thread-safe for concurrent calls with DISTINCT ranks; the per-rank
+/// caches are unsynchronized (one worker thread per rank).
+class DistStore final : public data::SnapshotProvider {
  public:
+  /// Default per-rank LRU cache capacity, in snapshots.
+  static constexpr std::int64_t kDefaultCacheSnapshots = 64;
+
+  /// Ledger-only mode: ownership map + fetch accounting, no data.
   DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes, int world,
             NetworkModel network, bool consolidate_requests = true);
+
+  /// Materialized mode: takes ownership of the dataset and partitions
+  /// its snapshots contiguously across `world` ranks.
+  DistStore(data::StandardDataset dataset, int world, NetworkModel network,
+            bool consolidate_requests = true,
+            std::int64_t cache_snapshots_per_rank = kDefaultCacheSnapshots);
 
   /// Owning rank of a snapshot; throws std::out_of_range for ids
   /// outside [0, num_snapshots).
@@ -45,23 +87,64 @@ class DistStore {
   std::pair<std::int64_t, std::int64_t> partition(int rank) const;
 
   /// Accounts one batch of snapshot accesses by `rank` and returns the
-  /// modeled seconds this batch spent fetching remote snapshots.
+  /// modeled seconds this batch spent fetching remote snapshots.  In
+  /// materialized mode this is also where remote bytes physically move:
+  /// missing snapshots are copied into `rank`'s LRU cache.
   double fetch_batch(int rank, const std::vector<std::int64_t>& snapshots);
 
   StoreStats stats() const;
 
-  std::int64_t num_snapshots() const noexcept { return num_snapshots_; }
   std::int64_t snapshot_bytes() const noexcept { return snapshot_bytes_; }
   int world() const noexcept { return world_; }
   bool consolidates_requests() const noexcept { return consolidate_requests_; }
+  bool materialized() const noexcept { return dataset_.has_value(); }
+  std::int64_t cache_capacity() const noexcept { return cache_capacity_; }
+
+  /// The materialized x/y shard owned by `rank`: zero-copy views of
+  /// the snapshot range [partition(rank)).  Materialized mode only.
+  Tensor shard_x(int rank) const;
+  Tensor shard_y(int rank) const;
+
+  // --- data::SnapshotProvider (materialized mode only, except
+  // num_snapshots; the data accessors throw std::logic_error on a
+  // ledger-only store) -------------------------------------------------
+  std::pair<Tensor, Tensor> fetch(int rank, std::int64_t i) override;
+  void prefetch_batch(int rank, const std::vector<std::int64_t>& ids) override;
+  double drain_modeled_seconds(int rank) override;
+  std::int64_t num_snapshots() const noexcept override { return num_snapshots_; }
+  MemorySpaceId space() const override;
+  const data::StandardScaler& scaler() const override;
+  const data::SplitRanges& splits() const override;
+  const data::DatasetSpec& spec() const override;
 
  private:
+  struct CacheEntry {
+    Tensor x, y;
+    std::list<std::int64_t>::iterator lru_it;
+  };
+  /// Per-rank remote-snapshot cache + modeled-time drain accumulator.
+  /// Touched only by its rank's thread; no lock.
+  struct RankState {
+    std::list<std::int64_t> lru;  // front = most recently used
+    std::unordered_map<std::int64_t, CacheEntry> cache;
+    double pending_modeled_seconds = 0.0;
+  };
+
+  const data::StandardDataset& dataset_ref() const;
+  /// Serves remote snapshot `i` from `rank`'s cache, physically
+  /// cloning it in on a miss.  Updates the measured-movement stats.
+  std::pair<Tensor, Tensor> cache_fetch(int rank, std::int64_t i);
+
   std::int64_t num_snapshots_;
   std::int64_t snapshot_bytes_;
   int world_;
   std::int64_t chunk_ = 1;
   NetworkModel network_;
   bool consolidate_requests_;
+  std::int64_t cache_capacity_ = kDefaultCacheSnapshots;
+
+  std::optional<data::StandardDataset> dataset_;
+  std::vector<RankState> ranks_;
 
   mutable std::mutex mu_;
   StoreStats stats_;

@@ -1,9 +1,14 @@
 // Determinism guarantees of the dist subsystem, beyond the functional
 // coverage in dist_test.cpp:
 //
-//  * Cluster collectives are bit-exact across repeated runs and across
-//    thread schedules for every world size — the property that makes
-//    W-worker training reproduce single-worker training (paper §5.3).
+//  * The tree all-reduce is bit-exact across repeated runs and across
+//    thread schedules, and bit-identical to the flat rank-ordered
+//    reference, for world sizes 1..9 (non-powers-of-two included) —
+//    the property that makes W-worker training reproduce single-worker
+//    training (paper §5.3).
+//  * A worker that dies mid-collective releases its peers with
+//    PeerFailureError from EVERY internal sync point of the staged
+//    tree all-reduce, not just the first.
 //  * DistStore never counts a remote fetch when every rank touches only
 //    its own partition — the access pattern generalized-distributed-
 //    index-batching (paper §5.4) guarantees by construction.
@@ -113,7 +118,69 @@ TEST_P(DeterminismWorlds, ScalarSumAndAllgatherAreRunInvariant) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, DeterminismWorlds, ::testing::Values(1, 2, 4));
+// 1..9 covers one rank, powers of two, and the non-power-of-two world
+// sizes (3, 5, 6, 7, 9) where a sloppy tree schedule would change
+// accumulation order.
+INSTANTIATE_TEST_SUITE_P(Worlds, DeterminismWorlds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+// ------------------------------------------------------ tree failure depth
+
+TEST(TreeFailure, PeersReleasedAtEveryTreeDepth) {
+  // The staged all-reduce passes through allreduce_sync_points(w)
+  // internal sync points (scratch sizing, input staging, one per tree
+  // stage, final gather).  The injected fault makes the last rank die
+  // upon ENTERING sync point `depth`, leaving its peers blocked at
+  // exactly that depth inside the tree reduction.  They must unwind
+  // via PeerFailureError at every depth, and run() must always rethrow
+  // the original (injected) error.
+  for (int w : {2, 3, 5, 8}) {
+    const int points = Cluster::allreduce_sync_points(w);
+    ASSERT_GE(points, 4) << "w=" << w;
+    for (int depth = 0; depth < points; ++depth) {
+      Cluster cluster(w);
+      cluster.inject_fault_at_sync_point(w - 1, static_cast<std::uint64_t>(depth),
+                                         "fault injection");
+      try {
+        cluster.run([&](Communicator& comm) {
+          std::vector<float> data(64, static_cast<float>(comm.rank()));
+          comm.allreduce_sum(data.data(), 64);
+          ADD_FAILURE() << "rank " << comm.rank()
+                        << " completed the collective past a dead peer (w=" << w
+                        << ", depth=" << depth << ")";
+        });
+        FAIL() << "expected the original error (w=" << w << ", depth=" << depth
+               << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "fault injection")
+            << "w=" << w << ", depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(TreeFailure, DeathBetweenCollectivesStillReleasesDeepStages) {
+  // A rank that dies after k complete all-reduces while peers are in
+  // collective k+1: peers sit at an arbitrary tree stage of a LATER
+  // collective and must still unwind.
+  for (int w : {3, 4, 7}) {
+    Cluster cluster(w);
+    try {
+      cluster.run([&](Communicator& comm) {
+        std::vector<float> data(32, 1.0f);
+        for (int k = 0;; ++k) {
+          if (k == 3 && comm.rank() == w - 1) {
+            throw std::runtime_error("died between collectives");
+          }
+          comm.allreduce_sum(data.data(), 32);
+        }
+      });
+      FAIL() << "expected the original error (w=" << w << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "died between collectives") << "w=" << w;
+    }
+  }
+}
 
 // ---------------------------------------------------------------- store
 

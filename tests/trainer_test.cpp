@@ -174,6 +174,45 @@ TEST(DistTrainer, BaselineDdpAccountsRemoteFetches) {
   DistResult r = DistTrainer(tiny_dist(DistMode::kBaselineDdp, 4)).run();
   EXPECT_GT(r.store.remote_snapshots, 0u);
   EXPECT_GT(r.modeled_fetch_seconds, 0.0);
+  // Remote snapshots now physically move; the modeled ledger must
+  // decompose exactly into copied + cache-absorbed bytes.
+  EXPECT_GT(r.store.bytes_copied, 0u);
+  EXPECT_EQ(r.store.remote_bytes,
+            r.store.bytes_copied + r.store.cache_hit_bytes);
+}
+
+TEST(DistTrainer, DdpLedgerEqualsBytesActuallyCopied) {
+  // One full epoch from a cold cache: every rank touches each of its
+  // snapshot ids at most once (disjoint permutation chunks; the val
+  // range is disjoint from train), so no fetch can be served by the
+  // cache and the modeled byte count must EQUAL the bytes physically
+  // copied — the fetch model validated against real movement.
+  DistConfig cfg = tiny_dist(DistMode::kBaselineDdp, 4);
+  cfg.epochs = 1;
+  cfg.max_batches_per_epoch = 0;  // whole shard: a full DDP baseline epoch
+  cfg.max_val_batches = 0;
+  DistResult r = DistTrainer(cfg).run();
+  ASSERT_GT(r.store.remote_snapshots, 0u);
+  EXPECT_EQ(r.store.cache_hits, 0u);
+  EXPECT_EQ(r.store.bytes_copied, r.store.remote_bytes);
+  EXPECT_EQ(r.store.remote_bytes,
+            r.store.remote_snapshots *
+                (2u * 4u * static_cast<std::uint64_t>(
+                               cfg.spec.horizon * cfg.spec.nodes * cfg.spec.features)));
+}
+
+TEST(DistTrainer, TinyConfiguredCacheIsClampedToOneBatch) {
+  // A cache smaller than one batch would evict announced snapshots
+  // before the loader stages them, double-pricing every remote fetch;
+  // the trainer clamps the configured capacity to one batch so the
+  // consolidated model still holds exactly.
+  DistConfig cfg = tiny_dist(DistMode::kBaselineDdp, 4);
+  cfg.epochs = 1;
+  cfg.store_cache_snapshots = 1;  // below batch_size = 8
+  DistResult r = DistTrainer(cfg).run();
+  ASSERT_GT(r.store.remote_snapshots, 0u);
+  EXPECT_EQ(r.store.cache_hits, 0u);
+  EXPECT_EQ(r.store.bytes_copied, r.store.remote_bytes);
 }
 
 TEST(DistTrainer, GeneralizedIndexStaysLocal) {
