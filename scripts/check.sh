@@ -9,7 +9,10 @@
 #   CTEST_ARGS     extra ctest arguments (default: -L tier1)
 #   PGTI_SANITIZE  set to "thread" to ALSO build <build-dir>-tsan with
 #                  -DPGTI_SANITIZE=thread and run the dist_* tier-1
-#                  suites under ThreadSanitizer.
+#                  suites under ThreadSanitizer — dist_test,
+#                  dist_determinism_test, and dist_prefetch_test (the
+#                  async staging pipeline + PrefetchLoader
+#                  abort/restart stress live in the last one).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every experiment-reproduction bench and summarizes the
 # [REPRODUCED]/[DIVERGED] verdicts.  Exits non-zero if any bench fails
-# to run or any claim diverges.
+# to run or any claim diverges.  The set is discovered by globbing
+# <build-dir>/bench/*, so newly added bench programs (e.g.
+# bench_cache_locality, the §5.4 cache-hit-rate / prefetch-overlap
+# experiment) are picked up automatically.
 #
 # Benches are sharded across a pool of JOBS workers — each bench runs
 # in its own background job writing to a private log, and the summary

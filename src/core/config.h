@@ -67,9 +67,22 @@ struct DistConfig {
   std::int64_t max_batches_per_epoch = 0;
   std::int64_t max_val_batches = 0;
   /// Per-rank LRU capacity (in snapshots) of the baseline store's
-  /// remote-fetch cache; 0 = auto (at least one full batch so every
-  /// announced snapshot survives until it is staged).
-  std::int64_t store_cache_snapshots = 0;
+  /// remote-fetch cache; negative = auto (a couple of batches).  Any
+  /// value >= 0 is honored exactly — announced snapshots are pinned
+  /// until consumed, so even a zero-capacity cache never double-prices
+  /// a consolidated fetch.
+  std::int64_t store_cache_snapshots = -1;
+  /// Byte bound on each rank's remote-fetch cache, applied on top of
+  /// the snapshot bound; 0 = no byte bound.
+  std::int64_t store_cache_bytes = 0;
+  /// Overlap data movement with compute: the baseline store stages
+  /// announced batches on per-rank background threads (prefetch_batch
+  /// becomes an async enqueue), loaders announce one batch ahead, and
+  /// batch assembly double-buffers through a PrefetchLoader.  Batch
+  /// contents and losses are bit-identical with this on or off; only
+  /// the *exposed* share of modeled fetch time (what the cluster is
+  /// charged) shrinks.
+  bool prefetch = false;
 };
 
 }  // namespace pgti::core

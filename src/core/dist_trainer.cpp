@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/trainer.h"
+#include "data/prefetch.h"
 #include "data/snapshot_provider.h"
 #include "dist/ddp.h"
 #include "dist/dist_store.h"
@@ -58,17 +59,20 @@ DistResult DistTrainer::run() {
     // The baseline's data plane is now a real partitioned store: the
     // materialized snapshots live in the store, each rank owns a
     // contiguous shard, and remote batches move actual bytes through a
-    // bounded per-rank cache.
-    // Clamped to one full batch: a smaller cache would evict announced
-    // snapshots before the loader stages them, double-pricing (and
-    // double-copying) every remote fetch versus the consolidated model.
+    // bounded per-rank cache.  Announced snapshots are pinned until
+    // consumed, so any configured capacity (even 0) keeps the
+    // consolidated fetch model exact; auto sizes to a couple of
+    // batches.  With cfg_.prefetch the store stages announced batches
+    // on per-rank background threads and only the exposed share of
+    // modeled fetch time is charged.
     const std::int64_t cache_capacity =
-        cfg_.store_cache_snapshots > 0
-            ? std::max(cfg_.store_cache_snapshots, spec.batch_size)
+        cfg_.store_cache_snapshots >= 0
+            ? cfg_.store_cache_snapshots
             : std::max(dist::DistStore::kDefaultCacheSnapshots,
                        2 * spec.batch_size);
     store.emplace(data::StandardDataset(raw, spec), cfg_.world, cluster.network(),
-                  /*consolidate_requests=*/true, cache_capacity);
+                  /*consolidate_requests=*/true, cache_capacity,
+                  cfg_.store_cache_bytes, /*async_prefetch=*/cfg_.prefetch);
   } else if (cfg_.mode == DistMode::kGeneralizedIndex) {
     Tensor stage1 = data::add_time_feature(raw, spec, kHostSpace);
     global_scaler = data::fit_scaler(stage1, spec);
@@ -178,13 +182,43 @@ DistResult DistTrainer::run() {
     train_opt.batch_size = spec.batch_size;
     train_opt.sampler = train_sampler;
     train_opt.drop_last = true;
+    train_opt.prefetch_lookahead = cfg_.prefetch;
     data::DataLoader train_loader(train_source, train_opt, train_lo, train_hi);
 
     data::LoaderOptions val_opt;
     val_opt.batch_size = spec.batch_size;
     val_opt.sampler = val_sampler;
     val_opt.drop_last = false;
+    val_opt.prefetch_lookahead = cfg_.prefetch;
     data::DataLoader val_loader(val_source, val_opt, val_lo, val_hi);
+
+    // Double-buffered batch assembly (paper §7 prefetching): a worker
+    // thread per loader runs announcement + staging while this rank's
+    // thread computes on the previous batch.  The batch sequence — and
+    // therefore every loss — is bit-identical with prefetch on or off.
+    std::optional<data::PrefetchLoader> train_prefetch, val_prefetch;
+    if (cfg_.prefetch) {
+      train_prefetch.emplace(train_loader);
+      val_prefetch.emplace(val_loader);
+    }
+    // Production caps keep each worker quiescent once the last batch
+    // this loop will consume is staged: the train worker must not
+    // still be issuing lookahead announcements when validation (same
+    // rank, same store) abandons leftovers, and vice versa.
+    const auto start_train_epoch = [&](int epoch, std::int64_t steps) {
+      if (train_prefetch) train_prefetch->start_epoch(epoch, steps);
+      else train_loader.start_epoch(epoch);
+    };
+    const auto next_train = [&](data::Batch& b) {
+      return train_prefetch ? train_prefetch->next(b) : train_loader.next(b);
+    };
+    const auto start_val_epoch = [&](int epoch, std::int64_t steps) {
+      if (val_prefetch) val_prefetch->start_epoch(epoch, steps);
+      else val_loader.start_epoch(epoch);
+    };
+    const auto next_val = [&](data::Batch& b) {
+      return val_prefetch ? val_prefetch->next(b) : val_loader.next(b);
+    };
 
     // Every rank must issue the SAME number of gradient all-reduces per
     // epoch or the collective deadlocks; ranks can own unequal shards
@@ -204,13 +238,15 @@ DistResult DistTrainer::run() {
       if (cfg_.scale_lr) opt.set_lr(schedule.lr_for_epoch(epoch));
       comm.barrier();
       WallTimer epoch_timer;
-      train_loader.start_epoch(epoch);
+      start_train_epoch(epoch, steps_per_epoch);
       data::Batch batch;
       double mae_sum = 0.0;
       std::int64_t batches = 0;
-      while (batches < steps_per_epoch && train_loader.next(batch)) {
+      while (batches < steps_per_epoch && next_train(batch)) {
         // next() staged the batch through the provider; charge the
-        // modeled fetch time it accumulated doing so.
+        // *exposed* modeled fetch time it accumulated doing so (with
+        // prefetch, the overlapped share hid behind compute and is
+        // not charged).
         cluster.charge_seconds(train_provider->drain_modeled_seconds(rank));
         std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
         Variable loss = seq_loss(outputs, batch.y);
@@ -224,10 +260,10 @@ DistResult DistTrainer::run() {
 
       // Validation: each rank scores its shard; sums are all-reduced
       // ("AllReduce operations to calculate validation accuracy", §5.3.1).
-      val_loader.start_epoch(0);
+      start_val_epoch(0, cfg_.max_val_batches > 0 ? cfg_.max_val_batches : -1);
       double val_sum = 0.0;
       std::int64_t val_batches = 0;
-      while (val_loader.next(batch)) {
+      while (next_val(batch)) {
         cluster.charge_seconds(val_provider->drain_modeled_seconds(rank));
         std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
         val_sum += seq_mae(outputs, batch.y);
@@ -264,8 +300,16 @@ DistResult DistTrainer::run() {
   result.peak_host_bytes = tracker.peak(kHostSpace);
   result.comm = cluster.stats();
   if (store) {
+    // Close out the prefetch pipeline: lookahead may have announced
+    // batches a truncated epoch never consumed (fully overlapped by
+    // definition — nobody waited), and classification since the last
+    // in-loop drain still owes the cluster its exposed share.
+    for (int r = 0; r < cfg_.world; ++r) {
+      store->abandon_prefetches(r);
+      cluster.charge_seconds(store->drain_modeled_seconds(r));
+    }
     result.store = store->stats();
-    result.modeled_fetch_seconds = result.store.modeled_seconds;
+    result.modeled_fetch_seconds = result.store.exposed_seconds;
     // The fetch ledger is now backed by real movement: every modeled
     // remote byte must have been physically copied or absorbed by the
     // bounded per-rank cache.  A mismatch means the model and the

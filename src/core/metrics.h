@@ -50,6 +50,10 @@ struct DistResult {
   double preprocess_seconds = 0.0;
   double train_wall_seconds = 0.0;       ///< measured (oversubscribed threads)
   double modeled_allreduce_seconds = 0.0;
+  /// Modeled fetch seconds the cluster was actually charged: the
+  /// *exposed* share (store.exposed_seconds).  Without prefetch this
+  /// equals store.modeled_seconds; with prefetch the overlapped share
+  /// (store.overlapped_seconds) was hidden behind compute.
   double modeled_fetch_seconds = 0.0;
   double best_val_mae = 0.0;
   std::size_t peak_host_bytes = 0;

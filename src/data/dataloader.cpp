@@ -84,6 +84,14 @@ void DataLoader::start_epoch(int epoch) {
   s.batch_size = options_.batch_size;
   order_ = sample_epoch(range_begin_, range_end_, s, epoch);
   cursor_ = 0;
+  if (options_.prefetch_lookahead) {
+    // A truncated previous epoch may have left announcements that were
+    // never consumed; release them, then kick off the first batch so
+    // it stages while the caller finishes its own epoch setup.
+    source_->abandon_prefetches();
+    batch_ids_at(0, lookahead_ids_);
+    if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
+  }
 }
 
 std::int64_t DataLoader::samples_per_epoch() const {
@@ -103,12 +111,27 @@ std::int64_t DataLoader::batches_per_epoch() const {
                             : (n + options_.batch_size - 1) / options_.batch_size;
 }
 
-bool DataLoader::next(Batch& out) {
+void DataLoader::batch_ids_at(std::size_t cursor,
+                              std::vector<std::int64_t>& out) const {
+  out.clear();
+  if (max_batches_ >= 0 &&
+      static_cast<std::int64_t>(cursor) >= max_batches_ * options_.batch_size) {
+    return;
+  }
   const std::int64_t remaining = static_cast<std::int64_t>(order_.size()) -
-                                 static_cast<std::int64_t>(cursor_);
-  if (remaining <= 0) return false;
+                                 static_cast<std::int64_t>(cursor);
+  if (remaining <= 0) return;
   const std::int64_t b = std::min<std::int64_t>(options_.batch_size, remaining);
-  if (options_.drop_last && b < options_.batch_size) return false;
+  if (options_.drop_last && b < options_.batch_size) return;
+  out.insert(out.end(), order_.begin() + static_cast<std::ptrdiff_t>(cursor),
+             order_.begin() + static_cast<std::ptrdiff_t>(cursor) +
+                 static_cast<std::ptrdiff_t>(b));
+}
+
+bool DataLoader::next(Batch& out) {
+  batch_ids_at(cursor_, out.indices);
+  if (out.indices.empty()) return false;
+  const std::int64_t b = static_cast<std::int64_t>(out.indices.size());
 
   const DatasetSpec& spec = source_->spec();
   const std::int64_t h = spec.horizon;
@@ -144,14 +167,17 @@ bool DataLoader::next(Batch& out) {
     asm_y = &host_y_;
   }
 
-  out.indices.clear();
-  out.indices.reserve(static_cast<std::size_t>(b));
-  for (std::int64_t i = 0; i < b; ++i) {
-    out.indices.push_back(order_[cursor_ + static_cast<std::size_t>(i)]);
+  if (options_.prefetch_lookahead) {
+    // This batch was announced one batch ago (or at start_epoch);
+    // announce the NEXT one now so its remote snapshots move in the
+    // background while this batch stages and computes.
+    batch_ids_at(cursor_ + static_cast<std::size_t>(b), lookahead_ids_);
+    if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
+  } else {
+    // Announce the whole batch before staging it: remote-backed sources
+    // move the missing snapshots in one consolidated request per owner.
+    source_->prefetch_batch(out.indices);
   }
-  // Announce the whole batch before staging it: remote-backed sources
-  // move the missing snapshots in one consolidated request per owner.
-  source_->prefetch_batch(out.indices);
   for (std::int64_t i = 0; i < b; ++i) {
     const auto [xv, yv] = source_->get(out.indices[static_cast<std::size_t>(i)]);
     asm_x->select(0, i).copy_from(xv);

@@ -42,6 +42,10 @@ class SnapshotSource {
   virtual void prefetch_batch(const std::vector<std::int64_t>& ids) const {
     (void)ids;
   }
+  /// Releases announced-but-unconsumed prefetches (the loader calls it
+  /// at epoch boundaries when lookahead announcements may have outrun
+  /// consumption).  No-op for purely local sources.
+  virtual void abandon_prefetches() const {}
   virtual std::int64_t num_snapshots() const = 0;
   virtual MemorySpaceId space() const = 0;
   virtual const StandardScaler& scaler() const = 0;
@@ -128,6 +132,13 @@ struct LoaderOptions {
   /// there (incurring PCIe transfers unless the source data already
   /// lives on the device).
   SimDevice* device = nullptr;
+  /// Announce batch k+1 to the source while batch k is being staged
+  /// (and batch 0 at start_epoch), instead of announcing each batch
+  /// right before staging it.  With an async-prefetching source the
+  /// next batch's remote snapshots then move in the background while
+  /// the current batch computes; epoch boundaries abandon announced
+  /// batches that were never consumed.
+  bool prefetch_lookahead = false;
 };
 
 class DataLoader {
@@ -143,11 +154,22 @@ class DataLoader {
   /// Stages the next batch; returns false at epoch end.
   bool next(Batch& out);
 
+  /// Caps batches per epoch (-1 = none).  Callers that stop consuming
+  /// early (DistTrainer's synchronized steps_per_epoch) set this so
+  /// next() — and, crucially, the lookahead announcements — stop at
+  /// the cap instead of announcing (and physically staging) a batch
+  /// nobody will consume.  Does not affect batches_per_epoch().
+  void set_max_batches(std::int64_t max_batches) { max_batches_ = max_batches; }
+
   std::int64_t batches_per_epoch() const;
   std::int64_t samples_per_epoch() const;
 
  private:
   void ensure_buffers(MemorySpaceId space, Tensor& x, Tensor& y) const;
+  /// Fills `out` with the snapshot ids of the batch starting at
+  /// `cursor` in this epoch's order (empty at epoch end, past the
+  /// max-batches cap, or for a short tail under drop_last).
+  void batch_ids_at(std::size_t cursor, std::vector<std::int64_t>& out) const;
 
   const SnapshotSource* source_;
   LoaderOptions options_;
@@ -155,6 +177,8 @@ class DataLoader {
   std::int64_t range_end_;
   std::vector<std::int64_t> order_;
   std::size_t cursor_ = 0;
+  std::int64_t max_batches_ = -1;
+  mutable std::vector<std::int64_t> lookahead_ids_;  // reusable scratch
 
   // Reusable staging buffers (allocated lazily to the max batch size).
   mutable Tensor host_x_, host_y_;   // host staging

@@ -26,7 +26,7 @@ void PrefetchLoader::deep_copy(const Batch& src, Batch& dst) {
   dst.indices = src.indices;
 }
 
-void PrefetchLoader::start_epoch(int epoch) {
+void PrefetchLoader::start_epoch(int epoch, std::int64_t max_batches) {
   std::unique_lock<std::mutex> lock(mu_);
   // Abort any in-flight fill (frees the producer if it is waiting on a
   // slot the consumer abandoned) and wait for it to drain.
@@ -40,6 +40,8 @@ void PrefetchLoader::start_epoch(int epoch) {
   produce_idx_ = consume_idx_ = 0;
   in_use_idx_ = -1;
   epoch_ = epoch;
+  max_batches_ = max_batches;
+  worker_error_ = nullptr;  // a restart is explicit recovery
   epoch_done_ = false;
   fill_requested_ = true;
   cv_.notify_all();
@@ -55,8 +57,14 @@ bool PrefetchLoader::next(Batch& out) {
     cv_.notify_all();
   }
   cv_.wait(lock, [this] {
-    return slot_full_[consume_idx_] || (epoch_done_ && !fill_requested_) || stop_;
+    return worker_error_ || slot_full_[consume_idx_] ||
+           (epoch_done_ && !fill_requested_) || stop_;
   });
+  if (worker_error_) {
+    std::exception_ptr error = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
   if (!slot_full_[consume_idx_]) return false;
   out.x = slots_[consume_idx_].x;
   out.y = slots_[consume_idx_].y;
@@ -70,32 +78,65 @@ bool PrefetchLoader::next(Batch& out) {
 void PrefetchLoader::worker_loop() {
   Batch staged;
   for (;;) {
+    int epoch;
+    std::int64_t cap;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return (fill_requested_ && !abort_) || stop_; });
-      if (stop_) return;
-    }
-    inner_->start_epoch(epoch_);
-    for (;;) {
-      const bool have = inner_->next(staged);
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!have || abort_) {
-        epoch_done_ = true;
-        fill_requested_ = false;
-        cv_.notify_all();
-        break;
-      }
-      cv_.wait(lock, [this] { return !slot_full_[produce_idx_] || abort_ || stop_; });
+      cv_.wait(lock, [this] { return fill_requested_ || stop_; });
       if (stop_) return;
       if (abort_) {
-        epoch_done_ = true;
+        // The fill was aborted before it ever started (restart with
+        // zero batches consumed).  Acknowledge it here or the
+        // restarting consumer waits for a drain that never happens
+        // while this thread waits for the abort to clear.
         fill_requested_ = false;
+        epoch_done_ = true;
         cv_.notify_all();
-        break;
+        continue;
       }
-      deep_copy(staged, slots_[produce_idx_]);
-      slot_full_[produce_idx_] = true;
-      produce_idx_ ^= 1;
+      // Snapshot epoch_/max_batches_ while still holding mu_:
+      // start_epoch writes them under the same lock, and an unlocked
+      // read here would race with the next (re)start.
+      epoch = epoch_;
+      cap = max_batches_;
+    }
+    try {
+      // One capping mechanism: the cap is forwarded to the inner
+      // loader, whose next() (and lookahead announcements) stop at the
+      // bound.
+      inner_->set_max_batches(cap);
+      inner_->start_epoch(epoch);
+      for (;;) {
+        const bool have = inner_->next(staged);
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!have || abort_) {
+          epoch_done_ = true;
+          fill_requested_ = false;
+          cv_.notify_all();
+          break;
+        }
+        cv_.wait(lock, [this] { return !slot_full_[produce_idx_] || abort_ || stop_; });
+        if (stop_) return;
+        if (abort_) {
+          epoch_done_ = true;
+          fill_requested_ = false;
+          cv_.notify_all();
+          break;
+        }
+        deep_copy(staged, slots_[produce_idx_]);
+        slot_full_[produce_idx_] = true;
+        produce_idx_ ^= 1;
+        cv_.notify_all();
+      }
+    } catch (...) {
+      // An inner-loader throw (e.g. a staging failure the source
+      // rethrows on its consumer — which is this worker) must reach
+      // the real consumer in next(), not escape the thread and
+      // terminate the process.
+      std::lock_guard<std::mutex> lock(mu_);
+      worker_error_ = std::current_exception();
+      epoch_done_ = true;
+      fill_requested_ = false;
       cv_.notify_all();
     }
   }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -25,12 +26,22 @@ class PrefetchLoader {
   PrefetchLoader(const PrefetchLoader&) = delete;
   PrefetchLoader& operator=(const PrefetchLoader&) = delete;
 
-  /// Starts (re)filling from the given epoch.
-  void start_epoch(int epoch);
+  /// Starts (re)filling from the given epoch.  `max_batches` bounds
+  /// how many batches the epoch assembles (-1 = the whole epoch);
+  /// callers that consume a truncated epoch (steps_per_epoch caps)
+  /// pass the cap so the worker goes quiescent — and stops issuing
+  /// lookahead announcements — once the last consumable batch is
+  /// staged.  Forwarded to the inner loader via set_max_batches (the
+  /// single capping mechanism).
+  void start_epoch(int epoch, std::int64_t max_batches = -1);
 
   /// Delivers the next prefetched batch; returns false at epoch end.
   /// The returned tensors are deep copies owned by the PrefetchLoader
   /// and stay valid until the next-but-one call (double buffered).
+  /// An exception thrown by the inner loader on the worker thread
+  /// (e.g. a staging failure surfaced by the source) is rethrown here,
+  /// on the real consumer; restarting via start_epoch discards a
+  /// pending error (explicit recovery).
   bool next(Batch& out);
 
  private:
@@ -51,6 +62,8 @@ class PrefetchLoader {
   int consume_idx_ = 0;
   int in_use_idx_ = -1;  ///< slot handed to the caller, pinned until next()
   int epoch_ = 0;
+  std::int64_t max_batches_ = -1;  ///< forwarded to the inner loader (-1 = none)
+  std::exception_ptr worker_error_;  ///< inner-loader throw, rethrown in next()
 };
 
 }  // namespace pgti::data

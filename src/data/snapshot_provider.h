@@ -19,9 +19,14 @@
 
 namespace pgti::data {
 
-/// Snapshot access with an explicit requesting rank.  Thread-safe for
-/// concurrent calls with DISTINCT ranks (one worker thread per rank,
-/// the Cluster execution model); per-rank state is unsynchronized.
+/// Snapshot access with an explicit requesting rank.  Thread-safety
+/// contract: concurrent calls with DISTINCT ranks never contend, and
+/// within ONE rank implementations must tolerate a consumer thread
+/// (fetch/prefetch_batch/abandon_prefetches) running concurrently with
+/// a drainer (drain_modeled_seconds) — DistTrainer's prefetch mode
+/// drains on the rank thread while a PrefetchLoader worker fetches.
+/// Guard per-rank state accordingly (DistStore uses a per-rank mutex;
+/// providers whose accesses are all local may be stateless instead).
 class SnapshotProvider {
  public:
   virtual ~SnapshotProvider() = default;
@@ -32,11 +37,18 @@ class SnapshotProvider {
   virtual std::pair<Tensor, Tensor> fetch(int rank, std::int64_t i) = 0;
 
   /// Announces one batch of snapshot ids `rank` is about to fetch, so
-  /// the provider can consolidate remote requests per owner.
+  /// the provider can consolidate remote requests per owner (and, for
+  /// async-prefetching providers, start moving them in the background).
   virtual void prefetch_batch(int rank, const std::vector<std::int64_t>& ids) = 0;
 
-  /// Modeled fetch seconds accumulated by `rank` since the last drain
-  /// (zero for providers whose accesses are all local).
+  /// Releases `rank`'s announced-but-unconsumed prefetches (called at
+  /// epoch boundaries when lookahead announcements outran consumption).
+  virtual void abandon_prefetches(int rank) { (void)rank; }
+
+  /// *Exposed* modeled fetch seconds accumulated by `rank` since the
+  /// last drain — the share of modeled fetch time still on the critical
+  /// path after any prefetch overlap (synchronous providers expose all
+  /// of it; zero for providers whose accesses are all local).
   virtual double drain_modeled_seconds(int rank) = 0;
 
   virtual std::int64_t num_snapshots() const = 0;
@@ -79,6 +91,7 @@ class RankSource final : public SnapshotSource {
   void prefetch_batch(const std::vector<std::int64_t>& ids) const override {
     p_->prefetch_batch(rank_, ids);
   }
+  void abandon_prefetches() const override { p_->abandon_prefetches(rank_); }
   std::int64_t num_snapshots() const override { return p_->num_snapshots(); }
   MemorySpaceId space() const override { return p_->space(); }
   const StandardScaler& scaler() const override { return p_->scaler(); }

@@ -64,22 +64,40 @@ void Communicator::broadcast(float* data, std::int64_t n, int root) {
     throw std::invalid_argument("broadcast: root " + std::to_string(root) +
                                 " outside [0, " + std::to_string(c.world_) + ")");
   }
+  const std::size_t count = static_cast<std::size_t>(n);
   if (rank_ == root) {
-    c.broadcast_src_ = data;
-    std::lock_guard<std::mutex> lk(c.mu_);
-    ++c.stats_.broadcast_count;
-    c.stats_.broadcast_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
-                                static_cast<std::uint64_t>(c.world_ - 1);
-  }
-  c.sync_point(rank_);  // source pointer published
-  if (rank_ != root) {
-    std::memcpy(data, c.broadcast_src_, static_cast<std::size_t>(n) * sizeof(float));
-  }
-  if (rank_ == 0) {
+    // Safe pre-sync: every rank passed the previous collective's final
+    // sync point before any rank could enter this one.  Staging the
+    // payload in cluster-owned memory means delivery stages never read
+    // the root caller's (unwindable) buffer.
+    c.bcast_buf_.resize(count);
+    std::memcpy(c.bcast_buf_.data(), data, count * sizeof(float));
+    {
+      std::lock_guard<std::mutex> lk(c.mu_);
+      ++c.stats_.broadcast_count;
+      c.stats_.broadcast_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
+                                  static_cast<std::uint64_t>(c.world_ - 1);
+    }
     c.sim_clock_.add(c.network_.allreduce_seconds(
         n * static_cast<std::int64_t>(sizeof(float)), c.world_));
   }
-  c.sync_point(rank_);  // everyone copied; source frame may unwind
+  c.sync_point(rank_);  // payload staged
+
+  // Prefix-doubling delivery mirroring the all-reduce pairing schedule
+  // (DESIGN.md §8): stage s reaches root-relative ranks [2^s, 2^(s+1)).
+  // As with the all-reduce tree, the stage schedule buys failure
+  // granularity — each stage ends in a sync point, so a dead peer
+  // releases the others at every tree depth — not parallelism; copies
+  // cannot perturb float bits, so the result is identical to the flat
+  // root-to-all copy.
+  const int rel = (rank_ - root + c.world_) % c.world_;
+  const int stages = Cluster::allreduce_stages(c.world_);
+  for (int s = 0; s < stages; ++s) {
+    if (rel >= (1 << s) && rel < (1 << (s + 1))) {
+      std::memcpy(data, c.bcast_buf_.data(), count * sizeof(float));
+    }
+    c.sync_point(rank_);  // delivery stage s complete
+  }
 }
 
 void Communicator::barrier() {
@@ -119,7 +137,6 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
     first_error_is_peer_failure_ = false;
     std::fill(double_slots_.begin(), double_slots_.end(), 0.0);
     std::fill(sync_seen_.begin(), sync_seen_.end(), 0);
-    broadcast_src_ = nullptr;
     // Modeled time is per-run; traffic stats accumulate across runs.
     sim_clock_.reset();
   }
@@ -146,6 +163,10 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     error = first_error_;
+    // Injected faults are one-shot: disarm so a reused Cluster's next
+    // run() (a supported pattern, e.g. a recovery pass after a
+    // fault-injection pass) does not deterministically re-throw.
+    fault_rank_ = -1;
   }
   if (error) std::rethrow_exception(error);
 }
@@ -199,6 +220,11 @@ int Cluster::allreduce_stages(int world) noexcept {
 int Cluster::allreduce_sync_points(int world) noexcept {
   // scratch sizing + input staging + one per tree stage + final gather.
   return allreduce_stages(world) + 3;
+}
+
+int Cluster::broadcast_sync_points(int world) noexcept {
+  // payload staging + one per delivery stage.
+  return allreduce_stages(world) + 1;
 }
 
 void Cluster::allreduce(float* data, std::int64_t n, int rank, bool mean) {

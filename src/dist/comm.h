@@ -80,7 +80,12 @@ class Communicator {
   double allreduce_scalar_sum(double value);
   /// Every rank's value, ordered by rank.
   std::vector<double> allgather(double value);
-  /// Copies root's buffer into every other rank's buffer.
+  /// Copies root's buffer into every other rank's buffer through a
+  /// prefix-doubling tree mirroring the all-reduce pairing schedule:
+  /// stage s delivers to root-relative ranks [2^s, 2^(s+1)), and each
+  /// stage ends in a sync point so peers unwind (PeerFailureError) at
+  /// every tree depth.  Copies are bit-safe, so the tree costs no
+  /// determinism.
   void broadcast(float* data, std::int64_t n, int root);
   /// Blocks until every live rank arrives (throws PeerFailureError if
   /// a peer died instead).
@@ -121,10 +126,17 @@ class Cluster {
   /// them; tests/dist_determinism_test.cpp sweeps them all.
   static int allreduce_sync_points(int world) noexcept;
 
+  /// Internal sync points one broadcast passes through (payload
+  /// staging + one per delivery stage); the tree mirrors
+  /// allreduce_stages(world).  tests/dist_test.cpp sweeps them all.
+  static int broadcast_sync_points(int world) noexcept;
+
   /// Deterministic fault injection for failure-semantics tests: worker
   /// `rank` throws std::runtime_error(message) upon entering its `nth`
   /// sync point (0-based, counted per rank and reset by run()).  Lets
   /// a test park peers at any internal tree stage of a collective.
+  /// One-shot: the injection arms the NEXT run() only; run() disarms
+  /// it on completion so a reused Cluster can recover.
   /// Inputs are staged into cluster-owned memory before the reduction,
   /// so a rank unwinding mid-collective can never invalidate memory a
   /// surviving peer still reads.
@@ -174,12 +186,13 @@ class Cluster {
   // Collective scratch state, valid between sync points.  input_buf_
   // holds every rank's staged all-reduce input so tree stages never
   // read a caller's (unwindable) buffer; reduce_buf_ holds the chunks
-  // being reduced.
+  // being reduced; bcast_buf_ holds the root's staged broadcast
+  // payload, so delivery stages never read a caller's buffer either.
   std::vector<double> double_slots_;
   std::vector<float> input_buf_;
   std::vector<float> reduce_buf_;
+  std::vector<float> bcast_buf_;
   double scalar_result_ = 0.0;
-  const float* broadcast_src_ = nullptr;
 
   CommStats stats_;
 };

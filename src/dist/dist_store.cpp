@@ -27,15 +27,64 @@ DistStore::DistStore(std::int64_t num_snapshots, std::int64_t snapshot_bytes,
   }
   if (world < 1) throw std::invalid_argument("DistStore: world must be >= 1");
   chunk_ = (num_snapshots + world - 1) / world;
-  ranks_.resize(static_cast<std::size_t>(world));
+  ranks_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) ranks_.push_back(std::make_unique<RankState>());
 }
 
 DistStore::DistStore(data::StandardDataset dataset, int world, NetworkModel network,
-                     bool consolidate_requests, std::int64_t cache_snapshots_per_rank)
+                     bool consolidate_requests, std::int64_t cache_snapshots_per_rank,
+                     std::int64_t cache_bytes_per_rank, bool async_prefetch)
     : DistStore(dataset.num_snapshots(), spec_snapshot_bytes(dataset.spec()), world,
                 network, consolidate_requests) {
   cache_capacity_ = std::max<std::int64_t>(0, cache_snapshots_per_rank);
+  cache_bytes_capacity_ = std::max<std::int64_t>(0, cache_bytes_per_rank);
+  async_prefetch_ = async_prefetch;
   dataset_.emplace(std::move(dataset));
+  if (async_prefetch_) {
+    for (int r = 0; r < world_; ++r) {
+      ranks_[static_cast<std::size_t>(r)]->stager =
+          std::thread([this, r] { stager_loop(r); });
+    }
+  }
+}
+
+DistStore::~DistStore() {
+  for (auto& rsp : ranks_) {
+    RankState& rs = *rsp;
+    if (!rs.stager.joinable()) continue;
+    {
+      std::lock_guard<std::mutex> lk(rs.m);
+      rs.stop = true;
+    }
+    rs.cv.notify_all();
+    rs.stager.join();
+  }
+  // Close the overlap split: announced batches nobody ever waited on
+  // were fully hidden behind compute.
+  for (auto& rsp : ranks_) {
+    RankState& rs = *rsp;
+    std::lock_guard<std::mutex> lk(rs.m);
+    for (auto& [id, req] : rs.in_flight) {
+      (void)id;
+      if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
+    }
+    for (auto& req : rs.queue) {
+      if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
+    }
+    rs.in_flight.clear();
+    rs.queue.clear();
+  }
+}
+
+void DistStore::check_rank(int rank) const {
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(world_) + ")");
+  }
+}
+
+DistStore::RankState& DistStore::rank_state(int rank) {
+  return *ranks_[static_cast<std::size_t>(rank)];
 }
 
 int DistStore::owner(std::int64_t snapshot) const {
@@ -47,10 +96,7 @@ int DistStore::owner(std::int64_t snapshot) const {
 }
 
 std::pair<std::int64_t, std::int64_t> DistStore::partition(int rank) const {
-  if (rank < 0 || rank >= world_) {
-    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
-                            " outside [0, " + std::to_string(world_) + ")");
-  }
+  check_rank(rank);
   const std::int64_t lo = std::min(chunk_ * rank, num_snapshots_);
   const std::int64_t hi = std::min(lo + chunk_, num_snapshots_);
   return {lo, hi};
@@ -79,48 +125,9 @@ const data::StandardScaler& DistStore::scaler() const { return dataset_ref().sca
 const data::SplitRanges& DistStore::splits() const { return dataset_ref().splits(); }
 const data::DatasetSpec& DistStore::spec() const { return dataset_ref().spec(); }
 
-std::pair<Tensor, Tensor> DistStore::cache_fetch(int rank, std::int64_t i) {
-  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
-  auto it = rs.cache.find(i);
-  if (it != rs.cache.end()) {
-    // The cache absorbed a fetch the model priced: a snapshot's worth
-    // of modeled bytes that did not physically move.
-    rs.lru.splice(rs.lru.begin(), rs.lru, it->second.lru_it);
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.cache_hits;
-    stats_.cache_hit_bytes += static_cast<std::uint64_t>(snapshot_bytes_);
-    return {it->second.x, it->second.y};
-  }
-
-  // Miss: this is where remote bytes physically move — a deep copy of
-  // the owning shard's snapshot into the requesting rank's cache.
-  const auto [xv, yv] = dataset_ref().get(i);
-  Tensor x = xv.clone();
-  Tensor y = yv.clone();
-  const std::uint64_t moved =
-      static_cast<std::uint64_t>(x.storage_bytes() + y.storage_bytes());
-  rs.lru.push_front(i);
-  rs.cache.emplace(i, CacheEntry{x, y, rs.lru.begin()});
-  std::uint64_t evictions = 0;
-  while (static_cast<std::int64_t>(rs.cache.size()) > cache_capacity_) {
-    rs.cache.erase(rs.lru.back());
-    rs.lru.pop_back();
-    ++evictions;
-  }
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_.bytes_copied += moved;
-  stats_.cache_evictions += evictions;
-  return {x, y};
-}
-
-double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapshots) {
-  if (rank < 0 || rank >= world_) {
-    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
-                            " outside [0, " + std::to_string(world_) + ")");
-  }
-  std::uint64_t local = 0;
-  std::uint64_t remote = 0;
-  std::uint64_t messages = 0;
+DistStore::BatchPrice DistStore::price_batch(
+    int rank, const std::vector<std::int64_t>& snapshots) const {
+  BatchPrice p;
   std::vector<bool> owner_contacted;
   if (consolidate_requests_) {
     owner_contacted.assign(static_cast<std::size_t>(world_), false);
@@ -128,85 +135,316 @@ double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapsho
   for (std::int64_t snapshot : snapshots) {
     const int own = owner(snapshot);
     if (own == rank) {
-      ++local;
+      ++p.local;
       continue;
     }
-    ++remote;
+    ++p.remote;
+    p.remote_ids.push_back(snapshot);
     if (consolidate_requests_) {
       if (!owner_contacted[static_cast<std::size_t>(own)]) {
         owner_contacted[static_cast<std::size_t>(own)] = true;
-        ++messages;
+        ++p.messages;
       }
     } else {
-      ++messages;
+      ++p.messages;
     }
-    // Materialized stores move the bytes right here: the snapshot
-    // lands in the rank's cache (hit/miss classified inside).
-    if (dataset_) cache_fetch(rank, snapshot);
   }
+  p.bytes = p.remote * static_cast<std::uint64_t>(snapshot_bytes_);
+  p.seconds =
+      p.remote > 0 ? network_.fetch_seconds(static_cast<std::int64_t>(p.bytes),
+                                            static_cast<std::int64_t>(p.messages))
+                   : 0.0;
+  return p;
+}
 
-  const std::uint64_t bytes =
-      remote * static_cast<std::uint64_t>(snapshot_bytes_);
-  const double seconds =
-      remote > 0 ? network_.fetch_seconds(static_cast<std::int64_t>(bytes),
-                                          static_cast<std::int64_t>(messages))
-                 : 0.0;
-  ranks_[static_cast<std::size_t>(rank)].pending_modeled_seconds += seconds;
+void DistStore::evict_over_capacity_locked(RankState& rs) {
+  const auto over = [&] {
+    if (static_cast<std::int64_t>(rs.cache.size()) > cache_capacity_) return true;
+    return cache_bytes_capacity_ > 0 && rs.cache_bytes > cache_bytes_capacity_;
+  };
+  std::uint64_t evicted = 0;
+  // Back-to-front over the LRU order, skipping pinned (announced but
+  // not yet consumed) entries — those must survive regardless of the
+  // configured bounds or the consolidated fetch model breaks.
+  auto it = rs.lru.end();
+  while (over() && it != rs.lru.begin()) {
+    auto cand = std::prev(it);
+    auto ce = rs.cache.find(*cand);
+    if (ce->second.pins > 0) {
+      it = cand;
+      continue;
+    }
+    rs.cache_bytes -= ce->second.bytes;
+    rs.cache.erase(ce);
+    it = rs.lru.erase(cand);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.cache_evictions += evicted;
+  }
+}
 
+bool DistStore::try_stage_hit_locked(RankState& rs, std::int64_t i, bool pin) {
+  auto it = rs.cache.find(i);
+  if (it == rs.cache.end()) return false;
+  // The cache absorbed a fetch the model priced: a snapshot's worth
+  // of modeled bytes that did not physically move.
+  if (pin) ++it->second.pins;
+  rs.lru.splice(rs.lru.begin(), rs.lru, it->second.lru_it);
   std::lock_guard<std::mutex> lk(mu_);
-  stats_.local_snapshots += local;
-  stats_.remote_snapshots += remote;
-  stats_.remote_bytes += bytes;
-  stats_.request_messages += messages;
-  stats_.modeled_seconds += seconds;
-  return seconds;
+  ++stats_.cache_hits;
+  stats_.cache_hit_bytes += static_cast<std::uint64_t>(snapshot_bytes_);
+  return true;
+}
+
+void DistStore::insert_entry_locked(RankState& rs, std::int64_t i, Tensor x,
+                                    Tensor y, bool pin) {
+  const std::int64_t moved =
+      static_cast<std::int64_t>(x.storage_bytes() + y.storage_bytes());
+  rs.lru.push_front(i);
+  rs.cache.emplace(i, CacheEntry{x, y, rs.lru.begin(), moved, pin ? 1 : 0});
+  rs.cache_bytes += moved;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.bytes_copied += static_cast<std::uint64_t>(moved);
+  }
+  evict_over_capacity_locked(rs);
+}
+
+void DistStore::stage_locked(RankState& rs, std::int64_t i, bool pin) {
+  if (try_stage_hit_locked(rs, i, pin)) return;
+  // Miss: this is where remote bytes physically move — a deep copy of
+  // the owning shard's snapshot into the requesting rank's cache.
+  const auto [xv, yv] = dataset_ref().get(i);
+  insert_entry_locked(rs, i, xv.clone(), yv.clone(), pin);
+}
+
+std::pair<Tensor, Tensor> DistStore::consume_locked(RankState& rs, std::int64_t i) {
+  auto it = rs.cache.find(i);
+  CacheEntry& e = it->second;
+  rs.lru.splice(rs.lru.begin(), rs.lru, e.lru_it);
+  if (e.pins > 0) --e.pins;
+  // Handles (shared storage) taken before the eviction pass may drop
+  // the freshly unpinned entry from a zero/tiny-capacity cache.
+  Tensor x = e.x;
+  Tensor y = e.y;
+  evict_over_capacity_locked(rs);
+  return {x, y};
+}
+
+void DistStore::classify_locked(RankState& rs, StageRequest& req,
+                                bool fully_overlapped) {
+  req.classified = true;
+  double exposed = 0.0;
+  if (!fully_overlapped) {
+    // The wall time between the announcement and the first moment the
+    // consumer needed the batch is real compute the modeled fetch hid
+    // behind; only the remainder stays on the critical path.
+    const double window = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - req.enqueued_at)
+                              .count();
+    exposed = std::max(0.0, req.modeled_seconds - window);
+  }
+  rs.pending_exposed_seconds += exposed;
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.exposed_seconds += exposed;
+  stats_.overlapped_seconds += req.modeled_seconds - exposed;
+}
+
+double DistStore::fetch_batch(int rank, const std::vector<std::int64_t>& snapshots) {
+  check_rank(rank);
+  BatchPrice p = price_batch(rank, snapshots);
+  RankState& rs = rank_state(rank);
+  {
+    std::lock_guard<std::mutex> lk(rs.m);
+    if (dataset_) {
+      // Materialized stores move the bytes right here: every remote
+      // snapshot lands in the rank's cache pinned until consumed
+      // (hit/miss classified inside).
+      for (std::int64_t id : p.remote_ids) stage_locked(rs, id, /*pin=*/true);
+    }
+    rs.pending_exposed_seconds += p.seconds;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.local_snapshots += p.local;
+  stats_.remote_snapshots += p.remote;
+  stats_.remote_bytes += p.bytes;
+  stats_.request_messages += p.messages;
+  stats_.modeled_seconds += p.seconds;
+  stats_.exposed_seconds += p.seconds;  // synchronous: nothing overlaps
+  return p.seconds;
+}
+
+void DistStore::prefetch_batch(int rank, const std::vector<std::int64_t>& ids) {
+  if (!async_prefetch_ || !dataset_) {
+    fetch_batch(rank, ids);
+    return;
+  }
+  check_rank(rank);
+  BatchPrice p = price_batch(rank, ids);
+  {
+    // The async pipeline prices the batch at enqueue exactly like the
+    // synchronous path, so the ledger is identical with prefetch on or
+    // off; only the overlapped/exposed split differs (classified at
+    // first need).
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.local_snapshots += p.local;
+    stats_.remote_snapshots += p.remote;
+    stats_.remote_bytes += p.bytes;
+    stats_.request_messages += p.messages;
+    stats_.modeled_seconds += p.seconds;
+  }
+  if (p.remote_ids.empty()) return;
+
+  auto req = std::make_shared<StageRequest>();
+  req->remote_ids = std::move(p.remote_ids);
+  req->modeled_seconds = p.seconds;
+  req->enqueued_at = std::chrono::steady_clock::now();
+  RankState& rs = rank_state(rank);
+  {
+    std::lock_guard<std::mutex> lk(rs.m);
+    // Announce-once/consume-once: a second announcement of an id whose
+    // first is still outstanding would leak the older request
+    // unclassified and unbalance its pin — fail loudly on misuse
+    // (validated before any insert so the map is never left partial).
+    for (std::int64_t id : req->remote_ids) {
+      if (rs.in_flight.count(id) != 0) {
+        throw std::logic_error("DistStore: snapshot " + std::to_string(id) +
+                               " announced twice without an intervening fetch");
+      }
+    }
+    for (std::int64_t id : req->remote_ids) rs.in_flight.emplace(id, req);
+    rs.queue.push_back(req);
+  }
+  rs.cv.notify_all();
+}
+
+void DistStore::stager_loop(int rank) {
+  RankState& rs = rank_state(rank);
+  std::unique_lock<std::mutex> lk(rs.m);
+  for (;;) {
+    rs.cv.wait(lk, [&] { return rs.stop || !rs.queue.empty(); });
+    if (rs.stop) return;
+    std::shared_ptr<StageRequest> req = rs.queue.front();
+    rs.queue.pop_front();
+    rs.staging = true;
+    // Orphaned announcements (abandoned epochs) still move their bytes
+    // — they were priced at enqueue and the ledger must stay backed by
+    // real movement — but land unpinned, immediately evictable.
+    // Clones run with rs.m RELEASED so the rank's consumer (a fetch of
+    // a resident snapshot, the per-batch exposed-time drain) never
+    // stalls behind a whole batch of physical copies; re-check the
+    // cache after re-locking in case the consumer faulted the id in
+    // meanwhile.
+    try {
+      for (std::int64_t id : req->remote_ids) {
+        if (try_stage_hit_locked(rs, id, /*pin=*/!req->orphaned)) continue;
+        lk.unlock();
+        const auto [xv, yv] = dataset_ref().get(id);
+        Tensor x = xv.clone();
+        Tensor y = yv.clone();
+        lk.lock();
+        if (!try_stage_hit_locked(rs, id, /*pin=*/!req->orphaned)) {
+          insert_entry_locked(rs, id, x, y, /*pin=*/!req->orphaned);
+        }
+      }
+    } catch (...) {
+      // Surface the failure on the consumer waiting for this request
+      // rather than letting it escape the thread (std::terminate) and
+      // strand the waiter.
+      if (!lk.owns_lock()) lk.lock();
+      req->error = std::current_exception();
+    }
+    req->staged = true;
+    rs.staging = false;
+    rs.cv.notify_all();
+  }
 }
 
 std::pair<Tensor, Tensor> DistStore::fetch(int rank, std::int64_t i) {
   const int own = owner(i);
-  if (rank < 0 || rank >= world_) {
-    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
-                            " outside [0, " + std::to_string(world_) + ")");
-  }
+  check_rank(rank);
   const data::StandardDataset& ds = dataset_ref();
   if (own == rank) return ds.get(i);  // zero-copy view of the owned shard
 
-  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
-  auto it = rs.cache.find(i);
-  if (it != rs.cache.end()) {
-    // Announced via prefetch_batch (or still resident): the batch-level
-    // accounting already classified this snapshot; reading the staged
-    // copy is free.
-    rs.lru.splice(rs.lru.begin(), rs.lru, it->second.lru_it);
-    return {it->second.x, it->second.y};
+  RankState& rs = rank_state(rank);
+  std::unique_lock<std::mutex> lk(rs.m);
+  auto fit = rs.in_flight.find(i);
+  if (fit != rs.in_flight.end()) {
+    // Announced asynchronously: classify the request's modeled time at
+    // the consumer's first need, then block until the stager has
+    // processed the request.  Waiting on req->staged — not on the id
+    // becoming resident — keeps pins balanced: the stager's pin always
+    // precedes this consume, even when the id was already resident
+    // from an earlier epoch (consuming early would leave the stager's
+    // later pin with no matching unpin, exempting the entry from
+    // eviction for the rest of the epoch).  It also covers a
+    // concurrent abandon_prefetches orphaning the request: its
+    // snapshots land unpinned and may already be evicted, in which
+    // case we fall through and fault the id back in.
+    std::shared_ptr<StageRequest> req = fit->second;
+    rs.in_flight.erase(fit);
+    if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/false);
+    rs.cv.wait(lk, [&] { return req->staged; });
+    if (rs.cache.count(i) != 0) return consume_locked(rs, i);
+    if (req->error) std::rethrow_exception(req->error);
+  }
+  if (rs.cache.count(i) != 0) {
+    // Announced via a synchronous prefetch_batch (or still resident):
+    // the batch-level accounting already classified this snapshot;
+    // reading the staged copy is free.
+    return consume_locked(rs, i);
   }
 
   // Unannounced remote access: price and move it as its own
-  // single-snapshot request.
+  // single-snapshot request, exposed in full.
   const double seconds = network_.fetch_seconds(snapshot_bytes_, 1);
-  rs.pending_modeled_seconds += seconds;
+  rs.pending_exposed_seconds += seconds;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk2(mu_);
     ++stats_.remote_snapshots;
     stats_.remote_bytes += static_cast<std::uint64_t>(snapshot_bytes_);
     ++stats_.request_messages;
     stats_.modeled_seconds += seconds;
+    stats_.exposed_seconds += seconds;
   }
-  return cache_fetch(rank, i);
+  stage_locked(rs, i, /*pin=*/true);
+  return consume_locked(rs, i);
 }
 
-void DistStore::prefetch_batch(int rank, const std::vector<std::int64_t>& ids) {
-  fetch_batch(rank, ids);
+void DistStore::abandon_prefetches(int rank) {
+  check_rank(rank);
+  if (!dataset_) return;
+  RankState& rs = rank_state(rank);
+  std::unique_lock<std::mutex> lk(rs.m);
+  for (auto& [id, req] : rs.in_flight) {
+    (void)id;
+    // Never waited on: whatever compute ran since the announcement
+    // fully hid the modeled time.
+    if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
+    req->orphaned = true;
+  }
+  rs.in_flight.clear();
+  // Quiesce the pipeline: orphaned requests still move their bytes
+  // (the ledger was priced at enqueue and must stay backed by real
+  // movement), so wait until the stager has drained the queue — and
+  // finished any in-progress request — before releasing pins;
+  // afterwards stats() decomposes exactly again.
+  rs.cv.wait(lk, [&] { return rs.queue.empty() && !rs.staging; });
+  for (auto& [id, entry] : rs.cache) {
+    (void)id;
+    entry.pins = 0;
+  }
+  evict_over_capacity_locked(rs);
 }
 
 double DistStore::drain_modeled_seconds(int rank) {
-  if (rank < 0 || rank >= world_) {
-    throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
-                            " outside [0, " + std::to_string(world_) + ")");
-  }
-  double& pending = ranks_[static_cast<std::size_t>(rank)].pending_modeled_seconds;
-  const double out = pending;
-  pending = 0.0;
+  check_rank(rank);
+  RankState& rs = rank_state(rank);
+  std::lock_guard<std::mutex> lk(rs.m);
+  const double out = rs.pending_exposed_seconds;
+  rs.pending_exposed_seconds = 0.0;
   return out;
 }
 

@@ -23,15 +23,41 @@
 //    bytes can be asserted against bytes that physically moved:
 //    remote_bytes == bytes_copied + cache_hit_bytes always holds.
 //
+// Announcement protocol (the consolidation contract): a batch of
+// snapshot ids is announced once (fetch_batch / prefetch_batch) and
+// each announced remote snapshot is then consumed by exactly one
+// fetch().  Announced snapshots are *pinned* in the cache until
+// consumed, so even a zero-capacity or byte-tight cache can never
+// evict a snapshot between its announcement and its consumption — the
+// failure mode that used to re-price announced fetches as their own
+// single-snapshot requests.  abandon_prefetches(rank) releases
+// announcements that will never be consumed (epoch truncation).
+//
+// Async prefetch pipeline (paper §7 future work): with
+// async_prefetch, prefetch_batch() prices the batch and enqueues it on
+// a per-rank background staging thread instead of copying inline;
+// fetch() blocks only on snapshots not yet staged.  Modeled fetch time
+// then splits into *overlapped* seconds (hidden behind the real
+// compute that elapsed between the announcement and the first time the
+// consumer needed the batch) and *exposed* seconds (the remainder, the
+// part still on the critical path).  drain_modeled_seconds() drains
+// only the exposed share — the synchronous path exposes everything, so
+// the two modes price identical ledgers and differ only in the split.
+//
 // With consolidate_requests, all items owned by one peer travel in a
 // single request per batch — the Dask batching optimization §5.1
 // applies to the baseline to keep the comparison fair.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -53,6 +79,13 @@ struct StoreStats {
   std::uint64_t request_messages = 0;
   double modeled_seconds = 0.0;
 
+  /// Split of modeled_seconds by whether the async staging pipeline hid
+  /// the time behind compute.  overlapped + exposed converges to
+  /// modeled_seconds once every announced batch has been consumed or
+  /// abandoned (synchronous fetches are exposed in full).
+  double overlapped_seconds = 0.0;
+  double exposed_seconds = 0.0;
+
   std::uint64_t bytes_copied = 0;     ///< bytes physically cloned on cache misses
   std::uint64_t cache_hits = 0;       ///< remote accesses served from the LRU cache
   std::uint64_t cache_hit_bytes = 0;  ///< modeled bytes the cache absorbed
@@ -62,8 +95,9 @@ struct StoreStats {
 /// Contiguous ceil-chunked ownership of `num_snapshots` snapshots
 /// across `world` workers, with per-batch fetch accounting and
 /// (materialized mode) real byte-moving snapshot storage.
-/// Thread-safe for concurrent calls with DISTINCT ranks; the per-rank
-/// caches are unsynchronized (one worker thread per rank).
+/// Thread-safe for concurrent calls with DISTINCT ranks; within one
+/// rank, the consumer, the staging thread, and a drainer may run
+/// concurrently (per-rank state is mutex-protected).
 class DistStore final : public data::SnapshotProvider {
  public:
   /// Default per-rank LRU cache capacity, in snapshots.
@@ -75,9 +109,21 @@ class DistStore final : public data::SnapshotProvider {
 
   /// Materialized mode: takes ownership of the dataset and partitions
   /// its snapshots contiguously across `world` ranks.
+  /// `cache_snapshots_per_rank` bounds each rank's remote cache in
+  /// snapshots (0 is a valid zero-capacity cache: announced snapshots
+  /// survive until consumed, then evict immediately);
+  /// `cache_bytes_per_rank` adds a byte bound on top (0 = no byte
+  /// bound).  `async_prefetch` spawns one staging thread per rank and
+  /// turns prefetch_batch into an asynchronous enqueue.
   DistStore(data::StandardDataset dataset, int world, NetworkModel network,
             bool consolidate_requests = true,
-            std::int64_t cache_snapshots_per_rank = kDefaultCacheSnapshots);
+            std::int64_t cache_snapshots_per_rank = kDefaultCacheSnapshots,
+            std::int64_t cache_bytes_per_rank = 0, bool async_prefetch = false);
+
+  ~DistStore() override;
+
+  DistStore(const DistStore&) = delete;
+  DistStore& operator=(const DistStore&) = delete;
 
   /// Owning rank of a snapshot; throws std::out_of_range for ids
   /// outside [0, num_snapshots).
@@ -89,7 +135,9 @@ class DistStore final : public data::SnapshotProvider {
   /// Accounts one batch of snapshot accesses by `rank` and returns the
   /// modeled seconds this batch spent fetching remote snapshots.  In
   /// materialized mode this is also where remote bytes physically move:
-  /// missing snapshots are copied into `rank`'s LRU cache.
+  /// missing snapshots are copied into `rank`'s LRU cache and pinned
+  /// until consumed by fetch().  Always synchronous (the async pipeline
+  /// goes through prefetch_batch).
   double fetch_batch(int rank, const std::vector<std::int64_t>& snapshots);
 
   StoreStats stats() const;
@@ -98,7 +146,9 @@ class DistStore final : public data::SnapshotProvider {
   int world() const noexcept { return world_; }
   bool consolidates_requests() const noexcept { return consolidate_requests_; }
   bool materialized() const noexcept { return dataset_.has_value(); }
+  bool async_prefetch() const noexcept { return async_prefetch_; }
   std::int64_t cache_capacity() const noexcept { return cache_capacity_; }
+  std::int64_t cache_bytes_capacity() const noexcept { return cache_bytes_capacity_; }
 
   /// The materialized x/y shard owned by `rank`: zero-copy views of
   /// the snapshot range [partition(rank)).  Materialized mode only.
@@ -110,6 +160,7 @@ class DistStore final : public data::SnapshotProvider {
   // ledger-only store) -------------------------------------------------
   std::pair<Tensor, Tensor> fetch(int rank, std::int64_t i) override;
   void prefetch_batch(int rank, const std::vector<std::int64_t>& ids) override;
+  void abandon_prefetches(int rank) override;
   double drain_modeled_seconds(int rank) override;
   std::int64_t num_snapshots() const noexcept override { return num_snapshots_; }
   MemorySpaceId space() const override;
@@ -121,19 +172,85 @@ class DistStore final : public data::SnapshotProvider {
   struct CacheEntry {
     Tensor x, y;
     std::list<std::int64_t>::iterator lru_it;
+    std::int64_t bytes = 0;
+    /// Outstanding announcements: > 0 means announced but not yet
+    /// consumed by fetch(); pinned entries are never evicted.
+    int pins = 0;
   };
-  /// Per-rank remote-snapshot cache + modeled-time drain accumulator.
-  /// Touched only by its rank's thread; no lock.
+
+  /// One asynchronously announced batch: the remote ids to stage, the
+  /// modeled price charged at enqueue, and the enqueue timestamp the
+  /// overlapped/exposed classification measures the compute window
+  /// from.
+  struct StageRequest {
+    std::vector<std::int64_t> remote_ids;
+    double modeled_seconds = 0.0;
+    std::chrono::steady_clock::time_point enqueued_at;
+    bool staged = false;
+    bool classified = false;
+    bool orphaned = false;  ///< abandoned before staging: stage unpinned
+    /// Staging failure (e.g. bad_alloc in a clone), rethrown on the
+    /// consumer that waits for this request instead of terminating the
+    /// staging thread's process.
+    std::exception_ptr error;
+  };
+
+  /// Per-rank remote-snapshot cache, staging pipeline, and
+  /// exposed-time drain accumulator.  `m` serializes the rank's
+  /// consumer thread, its staging thread, and drain callers.
   struct RankState {
+    std::mutex m;
+    std::condition_variable cv;
     std::list<std::int64_t> lru;  // front = most recently used
     std::unordered_map<std::int64_t, CacheEntry> cache;
-    double pending_modeled_seconds = 0.0;
+    std::int64_t cache_bytes = 0;
+    double pending_exposed_seconds = 0.0;
+    std::deque<std::shared_ptr<StageRequest>> queue;  // enqueued, not yet staged
+    /// Announced-but-unconsumed remote ids -> the request staging them.
+    std::unordered_map<std::int64_t, std::shared_ptr<StageRequest>> in_flight;
+    std::thread stager;
+    bool staging = false;  ///< a popped request is mid-staging
+    bool stop = false;
+  };
+
+  /// Per-owner-consolidated price of one announced batch (the PR 1
+  /// fetch model, unchanged).
+  struct BatchPrice {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+    std::vector<std::int64_t> remote_ids;
   };
 
   const data::StandardDataset& dataset_ref() const;
-  /// Serves remote snapshot `i` from `rank`'s cache, physically
-  /// cloning it in on a miss.  Updates the measured-movement stats.
-  std::pair<Tensor, Tensor> cache_fetch(int rank, std::int64_t i);
+  RankState& rank_state(int rank);
+  void check_rank(int rank) const;
+  BatchPrice price_batch(int rank, const std::vector<std::int64_t>& snapshots) const;
+
+  /// Serves remote snapshot `i` into `rank`'s cache (rs.m held),
+  /// physically cloning it in on a miss.  `pin` marks the snapshot
+  /// announced-until-consumed.  Updates the measured-movement stats.
+  void stage_locked(RankState& rs, std::int64_t i, bool pin);
+  /// Hit half of stage_locked (rs.m held): if `i` is resident, records
+  /// the cache hit, refreshes LRU, optionally pins, and returns true.
+  bool try_stage_hit_locked(RankState& rs, std::int64_t i, bool pin);
+  /// Miss half of stage_locked (rs.m held): inserts the cloned
+  /// tensors, records the copied bytes, and enforces the bounds.
+  void insert_entry_locked(RankState& rs, std::int64_t i, Tensor x, Tensor y,
+                           bool pin);
+  /// Hands the cached snapshot to the consumer (rs.m held): unpins one
+  /// announcement and enforces the cache bounds.
+  std::pair<Tensor, Tensor> consume_locked(RankState& rs, std::int64_t i);
+  /// Evicts unpinned LRU entries while over either bound (rs.m held);
+  /// evictions are counted into stats_.cache_evictions.
+  void evict_over_capacity_locked(RankState& rs);
+  /// First-need classification of an async request (rs.m held):
+  /// exposed = max(0, modeled - wall seconds since enqueue).
+  void classify_locked(RankState& rs, StageRequest& req, bool fully_overlapped);
+
+  void stager_loop(int rank);
 
   std::int64_t num_snapshots_;
   std::int64_t snapshot_bytes_;
@@ -142,9 +259,11 @@ class DistStore final : public data::SnapshotProvider {
   NetworkModel network_;
   bool consolidate_requests_;
   std::int64_t cache_capacity_ = kDefaultCacheSnapshots;
+  std::int64_t cache_bytes_capacity_ = 0;  ///< 0 = no byte bound
+  bool async_prefetch_ = false;
 
   std::optional<data::StandardDataset> dataset_;
-  std::vector<RankState> ranks_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
 
   mutable std::mutex mu_;
   StoreStats stats_;

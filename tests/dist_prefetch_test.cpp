@@ -1,0 +1,467 @@
+// The prefetch/caching data path, end to end:
+//
+//  * regression: a zero/tiny-capacity cache must never double-price an
+//    announced consolidated fetch (announced snapshots are pinned
+//    until consumed);
+//  * the bytes-bounded LRU mode;
+//  * the async per-rank staging pipeline: identical ledger to the
+//    synchronous path, bit-exact data, and the overlapped/exposed
+//    split of modeled fetch time;
+//  * PrefetchLoader abort/restart stress (a TSan target — this suite
+//    runs under PGTI_SANITIZE=thread via scripts/check.sh);
+//  * DistTrainer with prefetch on vs off: bit-identical losses,
+//    strictly lower exposed fetch time, ledger invariant intact.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/dist_trainer.h"
+#include "data/prefetch.h"
+#include "data/snapshot_provider.h"
+#include "data/synthetic.h"
+#include "dist/dist_store.h"
+#include "tensor/tensor_ops.h"
+
+namespace pgti {
+namespace {
+
+data::StandardDataset tiny_dataset() {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, /*seed=*/21);
+  return data::StandardDataset(raw, spec);
+}
+
+// --------------------------------------------- pinning / tiny caches
+
+TEST(StoreCache, ZeroCapacityCacheDoesNotDoublePriceAnnouncedBatch) {
+  // Regression: with cache_snapshots_per_rank = 0 the just-staged
+  // snapshot used to be evicted inside the staging pass, so the
+  // subsequent fetch() missed and was re-priced as its own
+  // single-snapshot request — double-counting remote traffic versus
+  // the consolidated model.
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/0);
+  const auto [lo1, hi1] = store.partition(1);
+  ASSERT_GE(hi1 - lo1, 3);
+  const std::vector<std::int64_t> batch{lo1, lo1 + 1, lo1 + 2};
+  const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    store.fetch_batch(0, batch);
+    for (std::int64_t id : batch) {
+      const auto [x, y] = store.fetch(0, id);
+      const auto [ox, oy] = store.fetch(1, id);
+      EXPECT_EQ(ops::max_abs_diff(x, ox.contiguous()), 0.0f);
+      EXPECT_EQ(ops::max_abs_diff(y, oy.contiguous()), 0.0f);
+    }
+    const dist::StoreStats st = store.stats();
+    const std::uint64_t e = static_cast<std::uint64_t>(epoch + 1);
+    EXPECT_EQ(st.remote_snapshots, 3u * e) << "every remote access priced ONCE";
+    EXPECT_EQ(st.request_messages, 1u * e) << "one consolidated request per batch";
+    EXPECT_EQ(st.remote_bytes, 3u * sb * e);
+    // Nothing survives a zero-capacity cache between epochs: every
+    // epoch re-copies, and the ledger still decomposes exactly.
+    EXPECT_EQ(st.bytes_copied, 3u * sb * e);
+    EXPECT_EQ(st.cache_hits, 0u);
+    EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  }
+  // Consumed snapshots were dropped immediately (capacity 0).
+  EXPECT_EQ(store.stats().cache_evictions, 6u);
+}
+
+TEST(StoreCache, AnnouncedSnapshotsArePinnedUntilConsumed) {
+  // Capacity 1, batch of 3: all three staged snapshots must coexist
+  // (pinned) until fetch() consumes them, then capacity bites.
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/1);
+  const auto [lo1, hi1] = store.partition(1);
+  ASSERT_GE(hi1 - lo1, 3);
+  const std::vector<std::int64_t> batch{lo1, lo1 + 1, lo1 + 2};
+  const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+
+  store.fetch_batch(0, batch);
+  for (std::int64_t id : batch) {
+    const auto [x, y] = store.fetch(0, id);
+    EXPECT_GT(x.numel(), 0);
+    EXPECT_GT(y.numel(), 0);
+  }
+  const dist::StoreStats st = store.stats();
+  EXPECT_EQ(st.remote_snapshots, 3u);
+  EXPECT_EQ(st.request_messages, 1u);
+  EXPECT_EQ(st.bytes_copied, 3u * sb) << "no announced snapshot was re-fetched";
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+}
+
+TEST(StoreCache, BytesBoundedModeEvictsByBytes) {
+  data::StandardDataset ds = tiny_dataset();
+  const std::int64_t sb = 2 * ds.spec().horizon * ds.spec().nodes *
+                          ds.spec().features *
+                          static_cast<std::int64_t>(sizeof(float));
+  // Count bound slack (the whole store), byte budget of two snapshots:
+  // the byte bound is what evicts.
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/ds.num_snapshots(),
+                        /*cache_bytes_per_rank=*/2 * sb);
+  ASSERT_EQ(store.snapshot_bytes(), sb);
+  const auto [lo1, hi1] = store.partition(1);
+  ASSERT_GE(hi1 - lo1, 3);
+  const auto touch = [&](std::int64_t id) {
+    store.fetch_batch(0, {id});
+    store.fetch(0, id);
+  };
+  touch(lo1);      // bytes: 1*sb
+  touch(lo1 + 1);  // bytes: 2*sb
+  touch(lo1 + 2);  // bytes would be 3*sb -> evicts lo1
+  EXPECT_EQ(store.stats().cache_evictions, 1u);
+  touch(lo1 + 1);  // still resident -> hit
+  EXPECT_EQ(store.stats().cache_hits, 1u);
+  touch(lo1);      // evicted -> copied again
+  const dist::StoreStats st = store.stats();
+  EXPECT_EQ(st.cache_evictions, 2u);
+  EXPECT_EQ(st.bytes_copied, 4u * static_cast<std::uint64_t>(sb));
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+}
+
+// --------------------------------------------- async staging pipeline
+
+TEST(AsyncPrefetch, StagesAnnouncedBatchBitExactly) {
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        dist::DistStore::kDefaultCacheSnapshots,
+                        /*cache_bytes_per_rank=*/0, /*async_prefetch=*/true);
+  ASSERT_TRUE(store.async_prefetch());
+  const auto [lo1, hi1] = store.partition(1);
+  const std::vector<std::int64_t> batch{lo1, lo1 + 1, hi1 - 1};
+  const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+
+  store.prefetch_batch(0, batch);
+  // Give the staging thread a real compute window to hide the modeled
+  // time behind before the consumer asks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (std::int64_t id : batch) {
+    const auto [x, y] = store.fetch(0, id);
+    const auto [ox, oy] = store.fetch(1, id);
+    EXPECT_FALSE(x.shares_storage_with(ox));
+    EXPECT_EQ(ops::max_abs_diff(x, ox.contiguous()), 0.0f);
+    EXPECT_EQ(ops::max_abs_diff(y, oy.contiguous()), 0.0f);
+  }
+
+  const dist::StoreStats st = store.stats();
+  EXPECT_EQ(st.remote_snapshots, 3u);
+  EXPECT_EQ(st.request_messages, 1u);
+  EXPECT_EQ(st.remote_bytes, 3u * sb);
+  EXPECT_EQ(st.bytes_copied, 3u * sb);
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  EXPECT_GT(st.modeled_seconds, 0.0);
+  // The ~20ms window was hidden; the rest stays exposed.
+  EXPECT_GT(st.overlapped_seconds, 0.015);
+  EXPECT_LT(st.exposed_seconds, st.modeled_seconds);
+  EXPECT_NEAR(st.overlapped_seconds + st.exposed_seconds, st.modeled_seconds, 1e-9);
+  // drain hands back only the exposed share, once.
+  const double drained = store.drain_modeled_seconds(0);
+  EXPECT_NEAR(drained, st.exposed_seconds, 1e-9);
+  EXPECT_EQ(store.drain_modeled_seconds(0), 0.0);
+}
+
+TEST(AsyncPrefetch, LedgerIdenticalToSynchronousPath) {
+  data::StandardDataset ds_sync = tiny_dataset();
+  data::StandardDataset ds_async = tiny_dataset();
+  dist::DistStore sync_store(ds_sync, 4, dist::NetworkModel{});
+  dist::DistStore async_store(ds_async, 4, dist::NetworkModel{},
+                              /*consolidate=*/true,
+                              dist::DistStore::kDefaultCacheSnapshots,
+                              /*cache_bytes_per_rank=*/0, /*async_prefetch=*/true);
+  const auto [lo1, hi1] = sync_store.partition(1);
+  const auto [lo2, hi2] = sync_store.partition(2);
+  (void)hi1;
+  (void)hi2;
+  const std::vector<std::vector<std::int64_t>> batches{
+      {lo1, lo1 + 1, lo2},          // two owners -> two messages
+      {lo1, lo2 + 1, lo2 + 2},      // lo1 cached -> hit
+  };
+  for (dist::DistStore* store : {&sync_store, &async_store}) {
+    for (const auto& batch : batches) {
+      store->prefetch_batch(0, batch);
+      for (std::int64_t id : batch) store->fetch(0, id);
+    }
+  }
+  const dist::StoreStats a = sync_store.stats();
+  const dist::StoreStats b = async_store.stats();
+  EXPECT_EQ(a.local_snapshots, b.local_snapshots);
+  EXPECT_EQ(a.remote_snapshots, b.remote_snapshots);
+  EXPECT_EQ(a.remote_bytes, b.remote_bytes);
+  EXPECT_EQ(a.request_messages, b.request_messages);
+  EXPECT_EQ(a.bytes_copied, b.bytes_copied);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_hit_bytes, b.cache_hit_bytes);
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+  // Sync exposes everything; async must never expose more.
+  EXPECT_DOUBLE_EQ(a.exposed_seconds, a.modeled_seconds);
+  EXPECT_DOUBLE_EQ(a.overlapped_seconds, 0.0);
+  EXPECT_LE(b.exposed_seconds, b.modeled_seconds);
+}
+
+TEST(AsyncPrefetch, AbandonReleasesOrphanedAnnouncements) {
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/0,
+                        /*cache_bytes_per_rank=*/0, /*async_prefetch=*/true);
+  const auto [lo1, hi1] = store.partition(1);
+  (void)hi1;
+  const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+
+  store.prefetch_batch(0, {lo1, lo1 + 1});  // announced, never consumed
+  store.abandon_prefetches(0);              // epoch truncated
+
+  dist::StoreStats st = store.stats();
+  EXPECT_EQ(st.remote_snapshots, 2u);
+  EXPECT_EQ(st.remote_bytes, 2u * sb);
+  // Orphans still moved their bytes (the ledger stays backed by real
+  // movement) but were never waited on: fully overlapped, and — with a
+  // zero-capacity cache — dropped as soon as their pins released.
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  EXPECT_DOUBLE_EQ(st.exposed_seconds, 0.0);
+  EXPECT_NEAR(st.overlapped_seconds, st.modeled_seconds, 1e-9);
+  EXPECT_EQ(st.cache_evictions, 2u);
+  EXPECT_EQ(store.drain_modeled_seconds(0), 0.0);
+
+  // A later fetch of an abandoned id is a fresh unannounced request.
+  store.fetch(0, lo1);
+  st = store.stats();
+  EXPECT_EQ(st.remote_snapshots, 3u);
+  EXPECT_EQ(st.request_messages, 2u);
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  EXPECT_GT(store.drain_modeled_seconds(0), 0.0);
+}
+
+// ------------------------------------------ PrefetchLoader stress
+
+TEST(PrefetchStress, AbortRestartStormKeepsSequencesExact) {
+  // Repeated partial consumption + immediate restarts: the abort path,
+  // the slot handoff, and the epoch_ handoff all get hammered.  Run
+  // under PGTI_SANITIZE=thread (scripts/check.sh) this is the data-race
+  // regression test for PrefetchLoader::worker_loop reading epoch_.
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, 9);
+  data::IndexDataset ds(raw, spec);
+  data::IndexSource source(ds);
+  data::LoaderOptions opt;
+  opt.batch_size = 8;
+  opt.sampler = data::SamplerOptions{data::ShuffleMode::kGlobal, 0, 1, 5, 8};
+
+  std::vector<std::vector<std::vector<std::int64_t>>> expected(3);
+  data::DataLoader plain(source, opt, 0, 200);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    plain.start_epoch(epoch);
+    data::Batch b;
+    while (plain.next(b)) expected[static_cast<std::size_t>(epoch)].push_back(b.indices);
+  }
+
+  data::DataLoader inner(source, opt, 0, 200);
+  data::PrefetchLoader prefetch(inner);
+  data::Batch b;
+  for (int iter = 0; iter < 60; ++iter) {
+    const int epoch = iter % 3;
+    prefetch.start_epoch(epoch);
+    const int consume = iter % 5;  // 0..4 batches, then abandon mid-epoch
+    for (int k = 0; k < consume; ++k) {
+      ASSERT_TRUE(prefetch.next(b)) << "iter " << iter << " batch " << k;
+      ASSERT_EQ(b.indices,
+                expected[static_cast<std::size_t>(epoch)][static_cast<std::size_t>(k)])
+          << "iter " << iter << " batch " << k;
+    }
+  }
+  // After the storm a full epoch still delivers the exact sequence.
+  prefetch.start_epoch(1);
+  std::size_t i = 0;
+  while (prefetch.next(b)) {
+    ASSERT_LT(i, expected[1].size());
+    EXPECT_EQ(b.indices, expected[1][i]);
+    ++i;
+  }
+  EXPECT_EQ(i, expected[1].size());
+}
+
+// Wraps a local dataset but fails exactly one get() call — the shape
+// of a staging failure surfaced by a remote-backed source.
+class ThrowOnceSource final : public data::SnapshotSource {
+ public:
+  ThrowOnceSource(const data::IndexDataset& d, std::int64_t throw_at_call)
+      : d_(&d), countdown_(throw_at_call) {}
+  std::pair<Tensor, Tensor> get(std::int64_t i) const override {
+    if (countdown_ >= 0 && countdown_-- == 0) {
+      throw std::runtime_error("synthetic staging failure");
+    }
+    return d_->get(i);
+  }
+  std::int64_t num_snapshots() const override { return d_->num_snapshots(); }
+  MemorySpaceId space() const override { return d_->space(); }
+  const data::StandardScaler& scaler() const override { return d_->scaler(); }
+  const data::SplitRanges& splits() const override { return d_->splits(); }
+  const data::DatasetSpec& spec() const override { return d_->spec(); }
+
+ private:
+  const data::IndexDataset* d_;
+  mutable std::int64_t countdown_;
+};
+
+TEST(PrefetchStress, WorkerExceptionSurfacesOnConsumerAndRestartRecovers) {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, 11);
+  data::IndexDataset ds(raw, spec);
+  ThrowOnceSource source(ds, /*throw_at_call=*/12);  // mid second batch
+  data::LoaderOptions opt;
+  opt.batch_size = 8;
+  opt.sampler = data::SamplerOptions{data::ShuffleMode::kNone, 0, 1, 1, 8};
+  data::DataLoader inner(source, opt, 0, 48);
+  data::PrefetchLoader prefetch(inner);
+  prefetch.start_epoch(0);
+  data::Batch b;
+  EXPECT_THROW(
+      {
+        while (prefetch.next(b)) {
+        }
+      },
+      std::runtime_error)
+      << "the worker-thread failure must surface on the consumer";
+  // Restart is explicit recovery: the full epoch delivers again.
+  prefetch.start_epoch(0);
+  int count = 0;
+  while (prefetch.next(b)) ++count;
+  EXPECT_EQ(count, 6);
+}
+
+TEST(PrefetchStress, ProductionCapGoesQuiescentAndRedelivers) {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  spec.horizon = 4;
+  SensorNetwork net = data::network_for(spec);
+  Tensor raw = data::generate_signal(spec, net, 10);
+  data::IndexDataset ds(raw, spec);
+  data::IndexSource source(ds);
+  data::LoaderOptions opt;
+  opt.batch_size = 16;
+  opt.sampler = data::SamplerOptions{data::ShuffleMode::kGlobal, 0, 1, 3, 16};
+  data::DataLoader inner(source, opt, 0, 100);
+  data::PrefetchLoader prefetch(inner);
+  data::Batch b;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    prefetch.start_epoch(epoch, /*max_batches=*/2);
+    int count = 0;
+    while (prefetch.next(b)) ++count;
+    EXPECT_EQ(count, 2) << "epoch " << epoch;
+  }
+  prefetch.start_epoch(0);  // uncapped again
+  int count = 0;
+  while (prefetch.next(b)) ++count;
+  EXPECT_EQ(count, 6);
+}
+
+// ------------------------------------------ DistTrainer end to end
+
+core::DistConfig prefetch_dist(core::DistMode mode) {
+  core::DistConfig cfg;
+  cfg.spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(64);
+  cfg.spec.horizon = 4;
+  cfg.spec.batch_size = 8;
+  cfg.mode = mode;
+  cfg.world = 2;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.diffusion_steps = 1;
+  cfg.max_batches_per_epoch = 4;
+  cfg.max_val_batches = 2;
+  cfg.seed = 47;
+  return cfg;
+}
+
+TEST(DistPrefetch, BaselineLossesBitIdenticalAndExposedStrictlyLower) {
+  core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdp);
+  cfg.prefetch = false;
+  const core::DistResult off = core::DistTrainer(cfg).run();
+  cfg.prefetch = true;
+  const core::DistResult on = core::DistTrainer(cfg).run();
+
+  // The pipeline must not perturb training by a single bit.
+  ASSERT_EQ(on.curve.size(), off.curve.size());
+  for (std::size_t e = 0; e < off.curve.size(); ++e) {
+    EXPECT_EQ(on.curve[e].train_mae, off.curve[e].train_mae) << "epoch " << e;
+    EXPECT_EQ(on.curve[e].val_mae, off.curve[e].val_mae) << "epoch " << e;
+  }
+
+  // Without prefetch everything is exposed; with prefetch the compute
+  // window between announcement and first need is hidden.
+  EXPECT_GT(off.modeled_fetch_seconds, 0.0);
+  EXPECT_NEAR(off.modeled_fetch_seconds, off.store.modeled_seconds, 1e-9);
+  EXPECT_LT(on.modeled_fetch_seconds, off.modeled_fetch_seconds);
+  EXPECT_GT(on.store.overlapped_seconds, 0.0);
+  EXPECT_NEAR(on.store.overlapped_seconds + on.store.exposed_seconds,
+              on.store.modeled_seconds, 1e-9);
+
+  // Lookahead may announce (and stage) batches a truncated epoch never
+  // consumed — never fewer than the synchronous run, and the ledger
+  // must stay backed by real byte movement in both.
+  EXPECT_GE(on.store.remote_snapshots, off.store.remote_snapshots);
+  EXPECT_EQ(off.store.remote_bytes,
+            off.store.bytes_copied + off.store.cache_hit_bytes);
+  EXPECT_EQ(on.store.remote_bytes,
+            on.store.bytes_copied + on.store.cache_hit_bytes);
+}
+
+TEST(DistPrefetch, ZeroCapacityCacheTrainsWithExactLedger) {
+  core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdp);
+  cfg.prefetch = true;
+  cfg.store_cache_snapshots = 0;
+  const core::DistResult r = core::DistTrainer(cfg).run();
+  ASSERT_GT(r.store.remote_snapshots, 0u);
+  EXPECT_EQ(r.store.remote_bytes, r.store.bytes_copied + r.store.cache_hit_bytes);
+  EXPECT_GT(r.store.overlapped_seconds, 0.0);
+}
+
+TEST(DistPrefetch, BytesBoundedCacheTrainsWithExactLedger) {
+  core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdpBatchShuffle);
+  cfg.prefetch = true;
+  cfg.store_cache_snapshots = 1 << 20;  // count bound slack
+  cfg.store_cache_bytes =
+      4 * 2 * cfg.spec.horizon * cfg.spec.nodes * cfg.spec.features *
+      static_cast<std::int64_t>(sizeof(float));  // four snapshots' worth
+  const core::DistResult r = core::DistTrainer(cfg).run();
+  ASSERT_GT(r.store.remote_snapshots, 0u);
+  EXPECT_EQ(r.store.remote_bytes, r.store.bytes_copied + r.store.cache_hit_bytes);
+}
+
+TEST(DistPrefetch, IndexModesBitIdenticalWithPrefetch) {
+  // The loader-level double buffering alone (no store in these modes)
+  // must also leave every loss bit-identical.
+  for (core::DistMode mode :
+       {core::DistMode::kDistributedIndex, core::DistMode::kGeneralizedIndex}) {
+    core::DistConfig cfg = prefetch_dist(mode);
+    cfg.epochs = 1;
+    cfg.prefetch = false;
+    const core::DistResult off = core::DistTrainer(cfg).run();
+    cfg.prefetch = true;
+    const core::DistResult on = core::DistTrainer(cfg).run();
+    ASSERT_EQ(on.curve.size(), off.curve.size());
+    for (std::size_t e = 0; e < off.curve.size(); ++e) {
+      EXPECT_EQ(on.curve[e].train_mae, off.curve[e].train_mae)
+          << "mode " << static_cast<int>(mode) << " epoch " << e;
+      EXPECT_EQ(on.curve[e].val_mae, off.curve[e].val_mae)
+          << "mode " << static_cast<int>(mode) << " epoch " << e;
+    }
+    EXPECT_EQ(on.modeled_fetch_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pgti

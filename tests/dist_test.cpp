@@ -133,6 +133,69 @@ TEST(Comm, BroadcastFromRoot) {
   });
 }
 
+TEST(Comm, TreeBroadcastFromEveryRootEveryWorld) {
+  // The prefix-doubling delivery must reach every rank from any root,
+  // including non-power-of-two worlds, and leave root's exact bits.
+  for (int w : {1, 2, 3, 5, 8}) {
+    for (int root = 0; root < w; ++root) {
+      Cluster cluster(w);
+      cluster.run([&](Communicator& comm) {
+        std::vector<float> data(33, static_cast<float>(comm.rank()) - 100.0f);
+        if (comm.rank() == root) {
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] = static_cast<float>(root * 1000 + static_cast<int>(i));
+          }
+        }
+        comm.broadcast(data.data(), 33, root);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], static_cast<float>(root * 1000 + static_cast<int>(i)))
+              << "w=" << w << " root=" << root << " rank=" << comm.rank();
+        }
+      });
+    }
+  }
+}
+
+TEST(Comm, BroadcastBytesCountPayloadTimesReceivers) {
+  Cluster cluster(4);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(16, comm.rank() == 1 ? 3.0f : 0.0f);
+    comm.broadcast(data.data(), 16, /*root=*/1);
+  });
+  const CommStats stats = cluster.stats();
+  EXPECT_EQ(stats.broadcast_count, 1u);
+  EXPECT_EQ(stats.broadcast_bytes, 16u * sizeof(float) * 3u);
+}
+
+TEST(Comm, BroadcastReleasesPeersAtEveryTreeStage) {
+  // Mirrors TreeFailure.PeersReleasedAtEveryTreeDepth for the
+  // broadcast tree: the last rank dies upon entering sync point
+  // `depth` of a broadcast; peers must unwind via PeerFailureError at
+  // every delivery stage and run() must rethrow the original error.
+  for (int w : {2, 3, 5, 8}) {
+    const int points = Cluster::broadcast_sync_points(w);
+    ASSERT_GE(points, 2) << "w=" << w;
+    for (int depth = 0; depth < points; ++depth) {
+      Cluster cluster(w);
+      cluster.inject_fault_at_sync_point(w - 1, static_cast<std::uint64_t>(depth),
+                                         "broadcast fault");
+      try {
+        cluster.run([&](Communicator& comm) {
+          std::vector<float> data(8, static_cast<float>(comm.rank()));
+          comm.broadcast(data.data(), 8, /*root=*/0);
+          ADD_FAILURE() << "rank " << comm.rank()
+                        << " completed the broadcast past a dead peer (w=" << w
+                        << ", depth=" << depth << ")";
+        });
+        FAIL() << "expected the original error (w=" << w << ", depth=" << depth
+               << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "broadcast fault") << "w=" << w << ", depth=" << depth;
+      }
+    }
+  }
+}
+
 TEST(Comm, AllgatherOrdersByRank) {
   Cluster cluster(3);
   cluster.run([&](Communicator& comm) {
@@ -182,6 +245,19 @@ TEST(Comm, TreeScheduleShape) {
   EXPECT_EQ(Cluster::allreduce_stages(8), 3);
   EXPECT_EQ(Cluster::allreduce_stages(9), 4);
   EXPECT_EQ(Cluster::allreduce_sync_points(8), Cluster::allreduce_stages(8) + 3);
+}
+
+TEST(Comm, InjectedFaultIsOneShotAcrossRuns) {
+  // A reused Cluster must recover after a fault-injection pass: run()
+  // disarms the injection on completion.
+  Cluster cluster(3);
+  cluster.inject_fault_at_sync_point(2, 0, "one-shot fault");
+  const auto job = [](Communicator& comm) {
+    float v = static_cast<float>(comm.rank());
+    comm.allreduce_sum(&v, 1);
+  };
+  EXPECT_THROW(cluster.run(job), std::runtime_error);
+  cluster.run(job);  // recovery pass: must complete cleanly
 }
 
 TEST(Comm, RepeatedCollectivesStressBarrier) {
@@ -355,13 +431,20 @@ TEST(DistStoreMaterialized, LruEvictsLeastRecentlyUsed) {
                   /*cache_snapshots_per_rank=*/2);
   const auto [lo1, hi1] = store.partition(1);
   ASSERT_GE(hi1 - lo1, 3);
-  store.fetch_batch(0, {lo1});          // cache: {lo1}
-  store.fetch_batch(0, {lo1 + 1});      // cache: {lo1+1, lo1}
-  store.fetch_batch(0, {lo1 + 2});      // evicts lo1
+  // The loader protocol: each announced snapshot is consumed by one
+  // fetch() (announced-but-unconsumed snapshots are pinned and exempt
+  // from eviction, so capacity only bites once batches are consumed).
+  const auto touch = [&](std::int64_t id) {
+    store.fetch_batch(0, {id});
+    store.fetch(0, id);
+  };
+  touch(lo1);          // cache: {lo1}
+  touch(lo1 + 1);      // cache: {lo1+1, lo1}
+  touch(lo1 + 2);      // evicts lo1
   EXPECT_EQ(store.stats().cache_evictions, 1u);
-  store.fetch_batch(0, {lo1 + 1});      // still cached -> hit
+  touch(lo1 + 1);      // still cached -> hit
   EXPECT_EQ(store.stats().cache_hits, 1u);
-  store.fetch_batch(0, {lo1});          // evicted -> copied again
+  touch(lo1);          // evicted -> copied again
   const StoreStats st = store.stats();
   EXPECT_EQ(st.cache_evictions, 2u);
   EXPECT_EQ(st.bytes_copied,

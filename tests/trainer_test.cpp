@@ -201,18 +201,22 @@ TEST(DistTrainer, DdpLedgerEqualsBytesActuallyCopied) {
                                cfg.spec.horizon * cfg.spec.nodes * cfg.spec.features)));
 }
 
-TEST(DistTrainer, TinyConfiguredCacheIsClampedToOneBatch) {
-  // A cache smaller than one batch would evict announced snapshots
-  // before the loader stages them, double-pricing every remote fetch;
-  // the trainer clamps the configured capacity to one batch so the
-  // consolidated model still holds exactly.
-  DistConfig cfg = tiny_dist(DistMode::kBaselineDdp, 4);
-  cfg.epochs = 1;
-  cfg.store_cache_snapshots = 1;  // below batch_size = 8
-  DistResult r = DistTrainer(cfg).run();
-  ASSERT_GT(r.store.remote_snapshots, 0u);
-  EXPECT_EQ(r.store.cache_hits, 0u);
-  EXPECT_EQ(r.store.bytes_copied, r.store.remote_bytes);
+TEST(DistTrainer, TinyConfiguredCacheStillPricesConsolidatedModelExactly) {
+  // Caches smaller than one batch (even zero-capacity) used to evict
+  // announced snapshots before the loader staged them, double-pricing
+  // every remote fetch as its own single-snapshot request.  Announced
+  // snapshots are now pinned until consumed, so any configured
+  // capacity is honored exactly and the consolidated model still
+  // decomposes into real byte movement.
+  for (std::int64_t capacity : {std::int64_t{1}, std::int64_t{0}}) {
+    DistConfig cfg = tiny_dist(DistMode::kBaselineDdp, 4);
+    cfg.epochs = 1;
+    cfg.store_cache_snapshots = capacity;  // below batch_size = 8
+    DistResult r = DistTrainer(cfg).run();
+    ASSERT_GT(r.store.remote_snapshots, 0u) << "capacity=" << capacity;
+    EXPECT_EQ(r.store.cache_hits, 0u) << "capacity=" << capacity;
+    EXPECT_EQ(r.store.bytes_copied, r.store.remote_bytes) << "capacity=" << capacity;
+  }
 }
 
 TEST(DistTrainer, GeneralizedIndexStaysLocal) {
