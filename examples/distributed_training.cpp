@@ -56,12 +56,12 @@ int main() {
   core::DistResult ddp = core::DistTrainer(cfg).run();
   report("baseline DDP (Dask-style store)", ddp);
 
-  // Same baseline with the async prefetch pipeline: identical losses,
-  // but part of the modeled fetch time now hides behind compute and
-  // only the exposed share is charged.
-  cfg.prefetch = true;
+  // Same baseline with the depth-2 async prefetch pipeline: identical
+  // losses, but two batches of lookahead now hide part of the modeled
+  // fetch time behind compute and only the exposed share is charged.
+  cfg.prefetch_depth = 2;
   core::DistResult ddp_prefetch = core::DistTrainer(cfg).run();
-  report("baseline DDP + async prefetch", ddp_prefetch);
+  report("baseline DDP + depth-2 prefetch", ddp_prefetch);
   std::printf("  overlapped          : %.3f s of modeled fetch hidden behind compute\n",
               ddp_prefetch.store.overlapped_seconds);
 

@@ -7,12 +7,14 @@
 # Environment:
 #   JOBS           parallelism (default: nproc)
 #   CTEST_ARGS     extra ctest arguments (default: -L tier1)
-#   PGTI_SANITIZE  set to "thread" to ALSO build <build-dir>-tsan with
-#                  -DPGTI_SANITIZE=thread and run the dist_* tier-1
-#                  suites under ThreadSanitizer — dist_test,
-#                  dist_determinism_test, and dist_prefetch_test (the
-#                  async staging pipeline + PrefetchLoader
-#                  abort/restart stress live in the last one).
+#   PGTI_SANITIZE  set to "thread" or "address" to ALSO build
+#                  <build-dir>-tsan / <build-dir>-asan with
+#                  -DPGTI_SANITIZE=<mode> and run the concurrency-heavy
+#                  tier-1 suites under it — dist_test,
+#                  dist_determinism_test, dist_prefetch_test (async
+#                  staging pipeline + PrefetchLoader abort/restart
+#                  stress) and epoch_engine_test (the shared
+#                  Trainer/DistTrainer pipeline at depth N).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,11 +25,18 @@ cmake -B "${build_dir}" -S "${repo_root}" -DPGTI_WERROR=ON
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:--L tier1}
 
-if [ "${PGTI_SANITIZE:-}" = "thread" ]; then
-  tsan_dir="${build_dir}-tsan"
+sanitize="${PGTI_SANITIZE:-}"
+if [ -n "${sanitize}" ]; then
+  case "${sanitize}" in
+    thread)  san_dir="${build_dir}-tsan" ;;
+    address) san_dir="${build_dir}-asan" ;;
+    *) echo "PGTI_SANITIZE must be 'thread' or 'address', got '${sanitize}'" >&2
+       exit 1 ;;
+  esac
   echo
-  echo "== ThreadSanitizer pass (dist_* suites) in ${tsan_dir} =="
-  cmake -B "${tsan_dir}" -S "${repo_root}" -DPGTI_SANITIZE=thread -DPGTI_WERROR=ON
-  cmake --build "${tsan_dir}" -j "${jobs}"
-  ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" -L tier1 -R '^dist_'
+  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine suites) in ${san_dir} =="
+  cmake -B "${san_dir}" -S "${repo_root}" -DPGTI_SANITIZE="${sanitize}" -DPGTI_WERROR=ON
+  cmake --build "${san_dir}" -j "${jobs}"
+  ctest --test-dir "${san_dir}" --output-on-failure -j "${jobs}" -L tier1 \
+        -R '^(dist_|epoch_engine)'
 fi

@@ -40,6 +40,16 @@ struct TrainConfig {
   /// bound wall time at paper-faithful per-batch behaviour.
   std::int64_t max_batches_per_epoch = 0;
   std::int64_t max_val_batches = 0;
+  /// Batches of lookahead in the single-process data pipeline (0 =
+  /// loaders are driven synchronously).  With depth N the EpochEngine
+  /// wraps each loader in a depth-N PrefetchLoader: batch staging —
+  /// including the modeled PCIe upload of host-resident batches — runs
+  /// up to N batches ahead on a worker thread and lands in
+  /// compute-space (device) buffers, so only the *exposed* share of
+  /// the modeled transfer leg stays on the critical path
+  /// (TrainResult::exposed_transfer_seconds).  Batch sequences and
+  /// losses are bit-identical across depths.
+  int prefetch_depth = 0;
 };
 
 /// Distributed strategy (paper §4.2, §5.4).
@@ -67,22 +77,24 @@ struct DistConfig {
   std::int64_t max_batches_per_epoch = 0;
   std::int64_t max_val_batches = 0;
   /// Per-rank LRU capacity (in snapshots) of the baseline store's
-  /// remote-fetch cache; negative = auto (a couple of batches).  Any
-  /// value >= 0 is honored exactly — announced snapshots are pinned
-  /// until consumed, so even a zero-capacity cache never double-prices
-  /// a consolidated fetch.
+  /// remote-fetch cache; negative = auto (the store owns the default
+  /// and sizes it to a couple of batches).  Any value >= 0 is honored
+  /// exactly — announced snapshots are pinned until consumed, so even
+  /// a zero-capacity cache never double-prices a consolidated fetch.
   std::int64_t store_cache_snapshots = -1;
   /// Byte bound on each rank's remote-fetch cache, applied on top of
   /// the snapshot bound; 0 = no byte bound.
   std::int64_t store_cache_bytes = 0;
-  /// Overlap data movement with compute: the baseline store stages
-  /// announced batches on per-rank background threads (prefetch_batch
-  /// becomes an async enqueue), loaders announce one batch ahead, and
-  /// batch assembly double-buffers through a PrefetchLoader.  Batch
-  /// contents and losses are bit-identical with this on or off; only
+  /// Batches of lookahead in the distributed data pipeline (0 = fully
+  /// synchronous).  With depth N the baseline store stages announced
+  /// batches on per-rank background threads (prefetch_batch becomes an
+  /// async enqueue), loaders announce N batches ahead plus the epoch
+  /// schedule (which the store's cache evicts around), and batch
+  /// assembly runs through a depth-N PrefetchLoader ring.  Batch
+  /// contents and losses are bit-identical across every depth; only
   /// the *exposed* share of modeled fetch time (what the cluster is
-  /// charged) shrinks.
-  bool prefetch = false;
+  /// charged) shrinks as depth grows.
+  int prefetch_depth = 0;
 };
 
 }  // namespace pgti::core

@@ -5,8 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/epoch_engine.h"
 #include "core/trainer.h"
-#include "data/prefetch.h"
 #include "data/snapshot_provider.h"
 #include "dist/ddp.h"
 #include "dist/dist_store.h"
@@ -56,23 +56,23 @@ DistResult DistTrainer::run() {
   std::optional<dist::DistStore> store;
   data::StandardScaler global_scaler;
   if (uses_store(cfg_.mode)) {
-    // The baseline's data plane is now a real partitioned store: the
+    // The baseline's data plane is a real partitioned store: the
     // materialized snapshots live in the store, each rank owns a
     // contiguous shard, and remote batches move actual bytes through a
-    // bounded per-rank cache.  Announced snapshots are pinned until
-    // consumed, so any configured capacity (even 0) keeps the
-    // consolidated fetch model exact; auto sizes to a couple of
-    // batches.  With cfg_.prefetch the store stages announced batches
-    // on per-rank background threads and only the exposed share of
-    // modeled fetch time is charged.
-    const std::int64_t cache_capacity =
-        cfg_.store_cache_snapshots >= 0
-            ? cfg_.store_cache_snapshots
-            : std::max(dist::DistStore::kDefaultCacheSnapshots,
-                       2 * spec.batch_size);
+    // bounded per-rank cache.  The store owns its cache defaults
+    // (store_cache_snapshots < 0 resolves inside it) and, with
+    // prefetch_depth > 0, stages announced batches on per-rank
+    // background threads so only the exposed share of modeled fetch
+    // time is charged.
     store.emplace(data::StandardDataset(raw, spec), cfg_.world, cluster.network(),
-                  /*consolidate_requests=*/true, cache_capacity,
-                  cfg_.store_cache_bytes, /*async_prefetch=*/cfg_.prefetch);
+                  /*consolidate_requests=*/true, cfg_.store_cache_snapshots,
+                  cfg_.store_cache_bytes,
+                  /*async_prefetch=*/cfg_.prefetch_depth > 0);
+    // Prefetch workers fetch up to `depth` batches ahead of compute;
+    // the overlap split must be classified when batches reach the
+    // consumer (the per-batch pipeline hook), not when the worker
+    // assembles them.
+    if (cfg_.prefetch_depth > 0) store->set_delivery_driven_classification(true);
   } else if (cfg_.mode == DistMode::kGeneralizedIndex) {
     Tensor stage1 = data::add_time_feature(raw, spec, kHostSpace);
     global_scaler = data::fit_scaler(stage1, spec);
@@ -177,48 +177,40 @@ DistResult DistTrainer::run() {
     optim::LinearScalingSchedule schedule(cfg_.lr, world, cfg_.warmup_epochs);
     dist::GradBucket bucket(params);
 
-    // ---- loaders ---------------------------------------------------------
+    // ---- the shared pipeline (DESIGN.md §12) -----------------------------
+    // Each rank drives the same EpochEngine the single-process Trainer
+    // uses: loaders feed BatchPipelines (depth-N PrefetchLoader rings
+    // when prefetch_depth > 0), the per-batch hook charges the cluster
+    // the *exposed* share of modeled fetch time the provider
+    // accumulated staging the batch, and the gradient hook runs the
+    // DDP all-reduce between backward and step.  The production cap
+    // passed at start_epoch keeps train/val workers of a rank from
+    // announcing concurrently.
     data::LoaderOptions train_opt;
     train_opt.batch_size = spec.batch_size;
     train_opt.sampler = train_sampler;
     train_opt.drop_last = true;
-    train_opt.prefetch_lookahead = cfg_.prefetch;
+    train_opt.prefetch_lookahead = cfg_.prefetch_depth;
     data::DataLoader train_loader(train_source, train_opt, train_lo, train_hi);
 
     data::LoaderOptions val_opt;
     val_opt.batch_size = spec.batch_size;
     val_opt.sampler = val_sampler;
     val_opt.drop_last = false;
-    val_opt.prefetch_lookahead = cfg_.prefetch;
+    val_opt.prefetch_lookahead = cfg_.prefetch_depth;
     data::DataLoader val_loader(val_source, val_opt, val_lo, val_hi);
 
-    // Double-buffered batch assembly (paper §7 prefetching): a worker
-    // thread per loader runs announcement + staging while this rank's
-    // thread computes on the previous batch.  The batch sequence — and
-    // therefore every loss — is bit-identical with prefetch on or off.
-    std::optional<data::PrefetchLoader> train_prefetch, val_prefetch;
-    if (cfg_.prefetch) {
-      train_prefetch.emplace(train_loader);
-      val_prefetch.emplace(val_loader);
-    }
-    // Production caps keep each worker quiescent once the last batch
-    // this loop will consume is staged: the train worker must not
-    // still be issuing lookahead announcements when validation (same
-    // rank, same store) abandons leftovers, and vice versa.
-    const auto start_train_epoch = [&](int epoch, std::int64_t steps) {
-      if (train_prefetch) train_prefetch->start_epoch(epoch, steps);
-      else train_loader.start_epoch(epoch);
-    };
-    const auto next_train = [&](data::Batch& b) {
-      return train_prefetch ? train_prefetch->next(b) : train_loader.next(b);
-    };
-    const auto start_val_epoch = [&](int epoch, std::int64_t steps) {
-      if (val_prefetch) val_prefetch->start_epoch(epoch, steps);
-      else val_loader.start_epoch(epoch);
-    };
-    const auto next_val = [&](data::Batch& b) {
-      return val_prefetch ? val_prefetch->next(b) : val_loader.next(b);
-    };
+    BatchPipeline train_pipe(train_loader, cfg_.prefetch_depth, [&] {
+      train_provider->notify_batch_delivered(rank);
+      cluster.charge_seconds(train_provider->drain_modeled_seconds(rank));
+    });
+    BatchPipeline val_pipe(val_loader, cfg_.prefetch_depth, [&] {
+      val_provider->notify_batch_delivered(rank);
+      cluster.charge_seconds(val_provider->drain_modeled_seconds(rank));
+    });
+    EpochEngine::Hooks hooks;
+    hooks.sync_gradients = [&] { bucket.allreduce_average(comm, params); };
+    EpochEngine engine(*bundle.model, opt, hooks);
 
     // Every rank must issue the SAME number of gradient all-reduces per
     // epoch or the collective deadlocks; ranks can own unequal shards
@@ -232,49 +224,27 @@ DistResult DistTrainer::run() {
     for (double other : comm.allgather(static_cast<double>(steps_per_epoch))) {
       steps_per_epoch = std::min(steps_per_epoch, static_cast<std::int64_t>(other));
     }
+    const std::int64_t val_cap = cfg_.max_val_batches > 0 ? cfg_.max_val_batches : -1;
 
     // ---- training --------------------------------------------------------
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
       if (cfg_.scale_lr) opt.set_lr(schedule.lr_for_epoch(epoch));
       comm.barrier();
       WallTimer epoch_timer;
-      start_train_epoch(epoch, steps_per_epoch);
-      data::Batch batch;
-      double mae_sum = 0.0;
-      std::int64_t batches = 0;
-      while (batches < steps_per_epoch && next_train(batch)) {
-        // next() staged the batch through the provider; charge the
-        // *exposed* modeled fetch time it accumulated doing so (with
-        // prefetch, the overlapped share hid behind compute and is
-        // not charged).
-        cluster.charge_seconds(train_provider->drain_modeled_seconds(rank));
-        std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
-        Variable loss = seq_loss(outputs, batch.y);
-        opt.zero_grad();
-        loss.backward();
-        bucket.allreduce_average(comm, params);
-        opt.step();
-        mae_sum += static_cast<double>(loss.value().item());
-        ++batches;
-      }
+      const EpochEngine::EpochSums train =
+          engine.train_epoch(train_pipe, epoch, steps_per_epoch);
 
       // Validation: each rank scores its shard; sums are all-reduced
       // ("AllReduce operations to calculate validation accuracy", §5.3.1).
-      start_val_epoch(0, cfg_.max_val_batches > 0 ? cfg_.max_val_batches : -1);
-      double val_sum = 0.0;
-      std::int64_t val_batches = 0;
-      while (next_val(batch)) {
-        cluster.charge_seconds(val_provider->drain_modeled_seconds(rank));
-        std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
-        val_sum += seq_mae(outputs, batch.y);
-        ++val_batches;
-        if (cfg_.max_val_batches > 0 && val_batches >= cfg_.max_val_batches) break;
-      }
+      const EpochEngine::EpochSums val =
+          engine.eval_epoch(val_pipe, val_cap, EpochEngine::Metric::kMae);
 
-      const double g_train_sum = comm.allreduce_scalar_sum(mae_sum);
-      const double g_train_cnt = comm.allreduce_scalar_sum(static_cast<double>(batches));
-      const double g_val_sum = comm.allreduce_scalar_sum(val_sum);
-      const double g_val_cnt = comm.allreduce_scalar_sum(static_cast<double>(val_batches));
+      const double g_train_sum = comm.allreduce_scalar_sum(train.sum);
+      const double g_train_cnt =
+          comm.allreduce_scalar_sum(static_cast<double>(train.batches));
+      const double g_val_sum = comm.allreduce_scalar_sum(val.sum);
+      const double g_val_cnt =
+          comm.allreduce_scalar_sum(static_cast<double>(val.batches));
 
       if (rank == 0) {
         const double sigma = train_source.scaler().stddev;

@@ -1,0 +1,117 @@
+// The shared epoch machinery behind Trainer and DistTrainer.
+//
+// Both workflows used to carry their own copy of the same loop:
+// wire a sampler into a DataLoader, optionally wrap it in a
+// PrefetchLoader, iterate batches through forward/loss/backward/step,
+// accumulate losses and metrics, and close out truncated epochs.
+// EpochEngine owns that loop once:
+//
+//  * BatchPipeline binds one DataLoader to a prefetch depth (0 =
+//    drive the loader synchronously; N >= 1 = a depth-N PrefetchLoader
+//    ring whose worker stages — and, for device runs, uploads —
+//    batches ahead of compute) plus an optional per-batch hook the
+//    distributed trainer uses to drain/charge exposed fetch seconds.
+//  * EpochEngine::train_epoch / eval_epoch run the actual loops.  A
+//    sync_gradients hook between backward and step makes the same loop
+//    serve DDP replicas; an on_train_step hook serves the
+//    single-process timeline sampler.  Batch sequences — and therefore
+//    every loss — are bit-identical across prefetch depths.
+//
+// The engine also splits the modeled PCIe leg of batch staging into
+// overlapped/exposed seconds, mirroring DistStore's fetch-time split
+// (DESIGN.md §10/§12): a batch staged by a prefetch worker hides its
+// modeled upload behind the wall window between staging and
+// consumption; only the remainder stays on the critical path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "data/dataloader.h"
+#include "data/prefetch.h"
+#include "nn/dcrnn.h"
+#include "optim/optim.h"
+
+namespace pgti::core {
+
+/// One DataLoader bound to a prefetch depth.  All epoch iteration —
+/// single-process or per-rank distributed — flows through this seam,
+/// so prefetch on/off/deeper is a construction-time choice, not a
+/// second code path.
+class BatchPipeline {
+ public:
+  /// `on_batch` (optional) runs on the consumer thread once per
+  /// delivered batch, right after delivery — distributed runs drain
+  /// the provider's exposed modeled fetch seconds there.
+  BatchPipeline(data::DataLoader& loader, int prefetch_depth,
+                std::function<void()> on_batch = {});
+
+  /// Starts an epoch; `max_batches` (-1 = none) caps both consumption
+  /// and — crucially — the lookahead announcements of a truncated
+  /// epoch (forwarded to the loader via set_max_batches).
+  void start_epoch(int epoch, std::int64_t max_batches = -1);
+
+  /// Delivers the next batch; returns false at epoch end.
+  bool next(data::Batch& out);
+
+  std::int64_t batches_per_epoch() const { return loader_->batches_per_epoch(); }
+  bool prefetching() const noexcept { return prefetch_.has_value(); }
+
+ private:
+  data::DataLoader* loader_;
+  std::optional<data::PrefetchLoader> prefetch_;
+  std::function<void()> on_batch_;
+};
+
+/// Drives a SeqModel + Adam through training and evaluation epochs
+/// over BatchPipelines.  One instance serves a whole workflow (or one
+/// rank of one); the PCIe overlap accounting accumulates across all
+/// epochs it runs.
+class EpochEngine {
+ public:
+  struct Hooks {
+    /// Runs between backward and optimizer step (DDP gradient
+    /// averaging); absent for single-replica training.
+    std::function<void()> sync_gradients;
+    /// Runs after every train step with (epoch, batches done so far);
+    /// the single-process trainer samples its memory timeline here.
+    std::function<void(int, std::int64_t)> on_train_step;
+  };
+
+  EpochEngine(nn::SeqModel& model, optim::Adam& opt, Hooks hooks = {});
+
+  struct EpochSums {
+    double sum = 0.0;  ///< accumulated loss (train) or metric (eval)
+    std::int64_t batches = 0;
+  };
+
+  /// One training epoch: forward, seq_loss, backward, [sync], step.
+  /// `max_steps` (-1 = none) bounds consumed batches and the
+  /// pipeline's production.
+  EpochSums train_epoch(BatchPipeline& pipe, int epoch, std::int64_t max_steps);
+
+  enum class Metric { kMae, kMse };
+
+  /// One evaluation pass (no tape, no optimizer) accumulating the
+  /// chosen metric; always epoch 0 (evaluation order is fixed).
+  EpochSums eval_epoch(BatchPipeline& pipe, std::int64_t max_batches,
+                       Metric metric);
+
+  /// Modeled PCIe staging seconds hidden behind compute by prefetched
+  /// pipelines so far (0 when every pipeline ran at depth 0).
+  double overlapped_transfer_seconds() const noexcept { return pcie_overlapped_; }
+  /// The exposed remainder of the modeled staging seconds observed.
+  double exposed_transfer_seconds() const noexcept { return pcie_exposed_; }
+
+ private:
+  void account_staging(const data::Batch& batch, bool prefetched);
+
+  nn::SeqModel* model_;
+  optim::Adam* opt_;
+  Hooks hooks_;
+  double pcie_overlapped_ = 0.0;
+  double pcie_exposed_ = 0.0;
+};
+
+}  // namespace pgti::core

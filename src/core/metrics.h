@@ -23,6 +23,12 @@ struct TrainResult {
   double preprocess_seconds = 0.0;
   double train_seconds = 0.0;  ///< measured compute wall time
   double modeled_transfer_seconds = 0.0;  ///< PCIe model (device runs)
+  /// Share of modeled_transfer_seconds still on the critical path
+  /// after prefetch overlap: equal to modeled_transfer_seconds at
+  /// prefetch_depth = 0; with a prefetch pipeline, each staged batch's
+  /// upload hides behind the wall window between its staging and its
+  /// consumption, and only the remainder is exposed.
+  double exposed_transfer_seconds = 0.0;
   double best_val_mae = 0.0;
   std::size_t peak_host_bytes = 0;
   std::size_t peak_device_bytes = 0;

@@ -1,19 +1,24 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
+#include "core/epoch_engine.h"
 #include "optim/optim.h"
 #include "runtime/timer.h"
 #include "tensor/tensor_ops.h"
 
 namespace pgti::core {
 
+Tensor step_target(const Tensor& y, std::size_t t) {
+  return y.select(1, static_cast<std::int64_t>(t)).contiguous();
+}
+
 Variable seq_loss(const std::vector<Variable>& outputs, const Tensor& y) {
   Variable total;
   for (std::size_t t = 0; t < outputs.size(); ++t) {
-    const Tensor yt = y.select(1, static_cast<std::int64_t>(t)).contiguous();
-    Variable step = ag::mae_loss(outputs[t], yt);
+    Variable step = ag::mae_loss(outputs[t], step_target(y, t));
     total = t == 0 ? step : ag::add(total, step);
   }
   return ag::mul_scalar(total, 1.0f / static_cast<float>(outputs.size()));
@@ -22,7 +27,7 @@ Variable seq_loss(const std::vector<Variable>& outputs, const Tensor& y) {
 double seq_mae(const std::vector<Variable>& outputs, const Tensor& y) {
   double acc = 0.0;
   for (std::size_t t = 0; t < outputs.size(); ++t) {
-    acc += ops::mae(outputs[t].value(), y.select(1, static_cast<std::int64_t>(t)).contiguous());
+    acc += ops::mae(outputs[t].value(), step_target(y, t));
   }
   return acc / static_cast<double>(outputs.size());
 }
@@ -30,7 +35,7 @@ double seq_mae(const std::vector<Variable>& outputs, const Tensor& y) {
 double seq_mse(const std::vector<Variable>& outputs, const Tensor& y) {
   double acc = 0.0;
   for (std::size_t t = 0; t < outputs.size(); ++t) {
-    acc += ops::mse(outputs[t].value(), y.select(1, static_cast<std::int64_t>(t)).contiguous());
+    acc += ops::mse(outputs[t].value(), step_target(y, t));
   }
   return acc / static_cast<double>(outputs.size());
 }
@@ -110,6 +115,7 @@ TrainResult Trainer::run() {
   train_opt.sampler = data::SamplerOptions{cfg_.shuffle, 0, 1, cfg_.seed, spec.batch_size};
   train_opt.drop_last = true;
   train_opt.device = device;
+  train_opt.prefetch_lookahead = cfg_.prefetch_depth;
   data::DataLoader train_loader(*source, train_opt, splits.train_begin, splits.train_end);
 
   data::LoaderOptions eval_opt = train_opt;
@@ -121,53 +127,51 @@ TrainResult Trainer::run() {
   result.train_samples = splits.train_end - splits.train_begin;
   const double sigma = source->scaler().stddev;
 
+  // --- the shared pipeline (DESIGN.md §12) -------------------------------
+  // The same EpochEngine that drives every DistTrainer rank drives the
+  // single-process workflow; prefetch_depth > 0 stages (and, on device
+  // runs, uploads) batches ahead of compute through a depth-N
+  // PrefetchLoader whose slots live in the compute space.
+  EpochEngine::Hooks hooks;
+  if (timeline) {
+    hooks.on_train_step = [&](int epoch, std::int64_t batches) {
+      if (batches % 8 != 0) return;
+      const double prog = 0.05 + 0.95 * (static_cast<double>(epoch) +
+                                         static_cast<double>(batches) /
+                                             static_cast<double>(std::max<std::int64_t>(
+                                                 1, train_loader.batches_per_epoch()))) /
+                                     static_cast<double>(cfg_.epochs);
+      tracker.sample(kHostSpace, prog, "train");
+      if (device) tracker.sample(device->space(), prog, "train");
+    };
+  }
+  EpochEngine engine(*bundle.model, opt, hooks);
+  BatchPipeline train_pipe(train_loader, cfg_.prefetch_depth);
+  BatchPipeline val_pipe(val_loader, cfg_.prefetch_depth);
+  BatchPipeline test_pipe(test_loader, cfg_.prefetch_depth);
+  const std::int64_t train_cap =
+      cfg_.max_batches_per_epoch > 0 ? cfg_.max_batches_per_epoch : -1;
+  const std::int64_t eval_cap = cfg_.max_val_batches > 0 ? cfg_.max_val_batches : -1;
+
   // --- training loop -------------------------------------------------------
   WallTimer train_timer;
   result.best_val_mae = 1e30;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     WallTimer epoch_timer;
-    train_loader.start_epoch(epoch);
-    data::Batch batch;
-    double mae_sum = 0.0;
-    std::int64_t batches = 0;
-    while (train_loader.next(batch)) {
-      std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
-      Variable loss = seq_loss(outputs, batch.y);
-      opt.zero_grad();
-      loss.backward();
-      opt.step();
-      mae_sum += static_cast<double>(loss.value().item());
-      ++batches;
-      if (timeline && batches % 8 == 0) {
-        const double prog = 0.05 + 0.95 * (static_cast<double>(epoch) +
-                                           static_cast<double>(batches) /
-                                               static_cast<double>(std::max<std::int64_t>(
-                                                   1, train_loader.batches_per_epoch()))) /
-                                       static_cast<double>(cfg_.epochs);
-        tracker.sample(kHostSpace, prog, "train");
-        if (device) tracker.sample(device->space(), prog, "train");
-      }
-      if (cfg_.max_batches_per_epoch > 0 && batches >= cfg_.max_batches_per_epoch) break;
-    }
-
-    // Validation pass (no optimizer step).
-    val_loader.start_epoch(0);
-    double val_sum = 0.0;
-    std::int64_t val_batches = 0;
-    while (val_loader.next(batch)) {
-      std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
-      val_sum += seq_mae(outputs, batch.y);
-      ++val_batches;
-      if (cfg_.max_val_batches > 0 && val_batches >= cfg_.max_val_batches) break;
-    }
+    const EpochEngine::EpochSums train = engine.train_epoch(train_pipe, epoch, train_cap);
+    const EpochEngine::EpochSums val =
+        engine.eval_epoch(val_pipe, eval_cap, EpochEngine::Metric::kMae);
 
     EpochMetrics em;
     em.epoch = epoch;
-    em.train_mae = batches > 0 ? mae_sum / static_cast<double>(batches) * sigma : 0.0;
-    em.val_mae = val_batches > 0 ? val_sum / static_cast<double>(val_batches) * sigma : 0.0;
+    em.train_mae = train.batches > 0
+                       ? train.sum / static_cast<double>(train.batches) * sigma
+                       : 0.0;
+    em.val_mae = val.batches > 0 ? val.sum / static_cast<double>(val.batches) * sigma
+                                 : 0.0;
     em.wall_seconds = epoch_timer.seconds();
     result.curve.push_back(em);
-    if (em.val_mae < result.best_val_mae && val_batches > 0) {
+    if (em.val_mae < result.best_val_mae && val.batches > 0) {
       result.best_val_mae = em.val_mae;
     }
   }
@@ -175,17 +179,10 @@ TrainResult Trainer::run() {
 
   // Final test MSE (normalized units; Table 6 reports this).
   {
-    test_loader.start_epoch(0);
-    data::Batch batch;
-    double mse_sum = 0.0;
-    std::int64_t n = 0;
-    while (test_loader.next(batch)) {
-      std::vector<Variable> outputs = bundle.model->forward_seq(batch.x);
-      mse_sum += seq_mse(outputs, batch.y);
-      ++n;
-      if (cfg_.max_val_batches > 0 && n >= cfg_.max_val_batches) break;
-    }
-    result.final_test_mse = n > 0 ? mse_sum / static_cast<double>(n) : 0.0;
+    const EpochEngine::EpochSums test =
+        engine.eval_epoch(test_pipe, eval_cap, EpochEngine::Metric::kMse);
+    result.final_test_mse =
+        test.batches > 0 ? test.sum / static_cast<double>(test.batches) : 0.0;
   }
 
   result.peak_host_bytes = tracker.peak(kHostSpace);
@@ -193,6 +190,11 @@ TrainResult Trainer::run() {
     result.peak_device_bytes = tracker.peak(device->space());
     result.transfers = device->stats();
     result.modeled_transfer_seconds = result.transfers.modeled_seconds;
+    // Batch staging the prefetch workers ran ahead of compute hid its
+    // modeled upload time; everything else (the parameter upload, all
+    // depth-0 staging) stays exposed.
+    result.exposed_transfer_seconds =
+        result.modeled_transfer_seconds - engine.overlapped_transfer_seconds();
   }
   if (timeline) tracker.sample(kHostSpace, 1.0, "done");
   return result;

@@ -17,6 +17,12 @@
 
 namespace pgti::core {
 
+/// Contiguous target slice for prediction step `t`: y is
+/// [B, horizon, N, 1] and every sequence metric compares output t
+/// against this view.  The single step-slicing helper shared by
+/// seq_loss/seq_mae/seq_mse.
+Tensor step_target(const Tensor& y, std::size_t t);
+
 /// Mean of the per-step MAE losses of a forward pass (the training
 /// objective; normalized units).
 Variable seq_loss(const std::vector<Variable>& outputs, const Tensor& y);

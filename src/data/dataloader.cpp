@@ -84,13 +84,31 @@ void DataLoader::start_epoch(int epoch) {
   s.batch_size = options_.batch_size;
   order_ = sample_epoch(range_begin_, range_end_, s, epoch);
   cursor_ = 0;
-  if (options_.prefetch_lookahead) {
+  if (options_.prefetch_lookahead > 0) {
     // A truncated previous epoch may have left announcements that were
-    // never consumed; release them, then kick off the first batch so
-    // it stages while the caller finishes its own epoch setup.
+    // never consumed; release them first.
     source_->abandon_prefetches();
-    batch_ids_at(0, lookahead_ids_);
-    if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
+    // Announce the epoch's full consumption order (batch by batch,
+    // respecting drop_last and the max-batches cap): schedule-aware
+    // caches evict around it — an entry scheduled for a nearer batch
+    // outlives already-consumed ones.
+    schedule_ids_.clear();
+    for (std::size_t c = 0;; c += static_cast<std::size_t>(options_.batch_size)) {
+      batch_ids_at(c, lookahead_ids_);
+      if (lookahead_ids_.empty()) break;
+      schedule_ids_.insert(schedule_ids_.end(), lookahead_ids_.begin(),
+                           lookahead_ids_.end());
+    }
+    source_->announce_schedule(schedule_ids_);
+    // Kick off the first `depth` batches so they stage while the
+    // caller finishes its own epoch setup.
+    for (int j = 0; j < options_.prefetch_lookahead; ++j) {
+      batch_ids_at(static_cast<std::size_t>(j) *
+                       static_cast<std::size_t>(options_.batch_size),
+                   lookahead_ids_);
+      if (lookahead_ids_.empty()) break;
+      source_->prefetch_batch(lookahead_ids_);
+    }
   }
 }
 
@@ -132,6 +150,8 @@ bool DataLoader::next(Batch& out) {
   batch_ids_at(cursor_, out.indices);
   if (out.indices.empty()) return false;
   const std::int64_t b = static_cast<std::int64_t>(out.indices.size());
+  out.staged_at = std::chrono::steady_clock::now();
+  out.modeled_staging_seconds = 0.0;
 
   const DatasetSpec& spec = source_->spec();
   const std::int64_t h = spec.horizon;
@@ -167,11 +187,16 @@ bool DataLoader::next(Batch& out) {
     asm_y = &host_y_;
   }
 
-  if (options_.prefetch_lookahead) {
-    // This batch was announced one batch ago (or at start_epoch);
-    // announce the NEXT one now so its remote snapshots move in the
-    // background while this batch stages and computes.
-    batch_ids_at(cursor_ + static_cast<std::size_t>(b), lookahead_ids_);
+  if (options_.prefetch_lookahead > 0) {
+    // This batch was announced `depth` batches ago (or at
+    // start_epoch), and batches k+1..k+depth-1 by the batches before
+    // it; announce batch k+depth now so the source keeps `depth`
+    // batches moving in the background while this one stages and
+    // computes.  (Every non-tail batch starts at a multiple of
+    // batch_size, and past the tail the lookup is empty anyway.)
+    batch_ids_at(cursor_ + static_cast<std::size_t>(options_.prefetch_lookahead) *
+                               static_cast<std::size_t>(options_.batch_size),
+                 lookahead_ids_);
     if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
   } else {
     // Announce the whole batch before staging it: remote-backed sources
@@ -196,6 +221,13 @@ bool DataLoader::next(Batch& out) {
     Tensor dy = dev_y_.slice(0, 0, b);
     options_.device->upload_into(hx, dx);
     options_.device->upload_into(hy, dy);
+    // Mirror the PcieModel charge upload_into just recorded so the
+    // consumer can split it into overlapped/exposed without re-reading
+    // the (shared) device ledger.
+    const PcieModel& pcie = options_.device->pcie();
+    out.modeled_staging_seconds =
+        pcie.transfer_seconds(hx.numel() * static_cast<std::int64_t>(sizeof(float))) +
+        pcie.transfer_seconds(hy.numel() * static_cast<std::int64_t>(sizeof(float)));
     out.x = dx;
     out.y = dy;
   } else {

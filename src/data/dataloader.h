@@ -20,6 +20,7 @@
 // measured in paper Table 4.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,14 @@ class SnapshotSource {
   /// at epoch boundaries when lookahead announcements may have outrun
   /// consumption).  No-op for purely local sources.
   virtual void abandon_prefetches() const {}
+  /// Announces the epoch's full consumption order (called once per
+  /// start_epoch when lookahead is on, before any prefetch_batch).
+  /// Schedule-aware caches use it to pick eviction victims: an entry
+  /// scheduled for a nearer-future batch outlives already-consumed
+  /// ones.  No-op for purely local sources.
+  virtual void announce_schedule(const std::vector<std::int64_t>& ids) const {
+    (void)ids;
+  }
   virtual std::int64_t num_snapshots() const = 0;
   virtual MemorySpaceId space() const = 0;
   virtual const StandardScaler& scaler() const = 0;
@@ -122,6 +131,14 @@ struct Batch {
   /// Snapshot ids staged into this batch (distributed stores use these
   /// to account remote fetches).
   std::vector<std::int64_t> indices;
+  /// Modeled PCIe seconds this batch's staging incurred (nonzero only
+  /// when host-resident data is uploaded to a device) and the moment
+  /// staging began.  When a prefetch pipeline stages batches ahead of
+  /// consumption, the EpochEngine uses the pair to split the modeled
+  /// transfer leg into overlapped (hidden behind the wall window since
+  /// staging began) and exposed seconds.
+  double modeled_staging_seconds = 0.0;
+  std::chrono::steady_clock::time_point staged_at{};
 };
 
 struct LoaderOptions {
@@ -132,13 +149,14 @@ struct LoaderOptions {
   /// there (incurring PCIe transfers unless the source data already
   /// lives on the device).
   SimDevice* device = nullptr;
-  /// Announce batch k+1 to the source while batch k is being staged
-  /// (and batch 0 at start_epoch), instead of announcing each batch
-  /// right before staging it.  With an async-prefetching source the
-  /// next batch's remote snapshots then move in the background while
-  /// the current batch computes; epoch boundaries abandon announced
+  /// Batches of lookahead announced to the source (0 = announce each
+  /// batch right before staging it).  With depth N > 0 the loader
+  /// announces the epoch schedule plus batches 0..N-1 at start_epoch
+  /// and batch k+N while batch k stages, so an async-prefetching
+  /// source keeps N batches in flight in the background while the
+  /// current batch computes; epoch boundaries abandon announced
   /// batches that were never consumed.
-  bool prefetch_lookahead = false;
+  int prefetch_lookahead = 0;
 };
 
 class DataLoader {
@@ -179,6 +197,7 @@ class DataLoader {
   std::size_t cursor_ = 0;
   std::int64_t max_batches_ = -1;
   mutable std::vector<std::int64_t> lookahead_ids_;  // reusable scratch
+  mutable std::vector<std::int64_t> schedule_ids_;   // reusable scratch
 
   // Reusable staging buffers (allocated lazily to the max batch size).
   mutable Tensor host_x_, host_y_;   // host staging

@@ -1,8 +1,13 @@
 #include "data/prefetch.h"
 
+#include <algorithm>
+
 namespace pgti::data {
 
-PrefetchLoader::PrefetchLoader(DataLoader& loader) : inner_(&loader) {
+PrefetchLoader::PrefetchLoader(DataLoader& loader, int depth)
+    : inner_(&loader),
+      slots_(static_cast<std::size_t>(std::max(depth, 1) + 1)),
+      slot_full_(slots_.size(), 0) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -24,6 +29,8 @@ void PrefetchLoader::deep_copy(const Batch& src, Batch& dst) {
   dst.y.copy_from(src.y);
   dst.size = src.size;
   dst.indices = src.indices;
+  dst.modeled_staging_seconds = src.modeled_staging_seconds;
+  dst.staged_at = src.staged_at;
 }
 
 void PrefetchLoader::start_epoch(int epoch, std::int64_t max_batches) {
@@ -31,12 +38,12 @@ void PrefetchLoader::start_epoch(int epoch, std::int64_t max_batches) {
   // Abort any in-flight fill (frees the producer if it is waiting on a
   // slot the consumer abandoned) and wait for it to drain.
   abort_ = true;
-  slot_full_[0] = slot_full_[1] = false;
+  std::fill(slot_full_.begin(), slot_full_.end(), 0);
   cv_.notify_all();
   cv_.wait(lock, [this] { return !fill_requested_ || stop_; });
   if (stop_) return;
   abort_ = false;
-  slot_full_[0] = slot_full_[1] = false;
+  std::fill(slot_full_.begin(), slot_full_.end(), 0);
   produce_idx_ = consume_idx_ = 0;
   in_use_idx_ = -1;
   epoch_ = epoch;
@@ -52,12 +59,12 @@ bool PrefetchLoader::next(Batch& out) {
   // Release the slot handed out by the previous call: only now may the
   // producer overwrite it (the caller is done with those views).
   if (in_use_idx_ >= 0) {
-    slot_full_[in_use_idx_] = false;
+    slot_full_[static_cast<std::size_t>(in_use_idx_)] = 0;
     in_use_idx_ = -1;
     cv_.notify_all();
   }
   cv_.wait(lock, [this] {
-    return worker_error_ || slot_full_[consume_idx_] ||
+    return worker_error_ || slot_full_[static_cast<std::size_t>(consume_idx_)] ||
            (epoch_done_ && !fill_requested_) || stop_;
   });
   if (worker_error_) {
@@ -65,13 +72,16 @@ bool PrefetchLoader::next(Batch& out) {
     worker_error_ = nullptr;
     std::rethrow_exception(error);
   }
-  if (!slot_full_[consume_idx_]) return false;
-  out.x = slots_[consume_idx_].x;
-  out.y = slots_[consume_idx_].y;
-  out.size = slots_[consume_idx_].size;
-  out.indices = slots_[consume_idx_].indices;
+  if (!slot_full_[static_cast<std::size_t>(consume_idx_)]) return false;
+  const Batch& slot = slots_[static_cast<std::size_t>(consume_idx_)];
+  out.x = slot.x;
+  out.y = slot.y;
+  out.size = slot.size;
+  out.indices = slot.indices;
+  out.modeled_staging_seconds = slot.modeled_staging_seconds;
+  out.staged_at = slot.staged_at;
   in_use_idx_ = consume_idx_;  // stays full until the next call
-  consume_idx_ ^= 1;
+  consume_idx_ = advance(consume_idx_);
   return true;
 }
 
@@ -115,7 +125,10 @@ void PrefetchLoader::worker_loop() {
           cv_.notify_all();
           break;
         }
-        cv_.wait(lock, [this] { return !slot_full_[produce_idx_] || abort_ || stop_; });
+        cv_.wait(lock, [this] {
+          return !slot_full_[static_cast<std::size_t>(produce_idx_)] || abort_ ||
+                 stop_;
+        });
         if (stop_) return;
         if (abort_) {
           epoch_done_ = true;
@@ -123,9 +136,9 @@ void PrefetchLoader::worker_loop() {
           cv_.notify_all();
           break;
         }
-        deep_copy(staged, slots_[produce_idx_]);
-        slot_full_[produce_idx_] = true;
-        produce_idx_ ^= 1;
+        deep_copy(staged, slots_[static_cast<std::size_t>(produce_idx_)]);
+        slot_full_[static_cast<std::size_t>(produce_idx_)] = 1;
+        produce_idx_ = advance(produce_idx_);
         cv_.notify_all();
       }
     } catch (...) {

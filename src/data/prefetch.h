@@ -2,15 +2,20 @@
 // distribution strategies ... and implement prefetching").
 //
 // A PrefetchLoader drives an inner DataLoader on a worker thread and
-// double-buffers assembled batches, overlapping batch staging (and any
-// modeled PCIe/store traffic it triggers) with model compute.  The
-// batch sequence is identical to the inner loader's.
+// buffers up to `depth` assembled batches in a ring of depth+1 slots,
+// overlapping batch staging (and any modeled PCIe/store traffic it
+// triggers) with model compute.  depth = 1 is classic double
+// buffering; deeper rings let the worker run further ahead, which —
+// combined with the loader's own depth-N lookahead announcements —
+// pushes the exposed share of modeled fetch time toward zero.  The
+// batch sequence is identical to the inner loader's at every depth.
 #pragma once
 
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "data/dataloader.h"
 
@@ -19,8 +24,10 @@ namespace pgti::data {
 class PrefetchLoader {
  public:
   /// Takes ownership semantics over loader's iteration: callers must
-  /// not call loader.next() directly while prefetching.
-  explicit PrefetchLoader(DataLoader& loader);
+  /// not call loader.next() directly while prefetching.  `depth` >= 1
+  /// is the number of assembled batches the worker may run ahead of
+  /// the consumer (ring of depth+1 slots).
+  explicit PrefetchLoader(DataLoader& loader, int depth = 1);
   ~PrefetchLoader();
 
   PrefetchLoader(const PrefetchLoader&) = delete;
@@ -37,23 +44,28 @@ class PrefetchLoader {
 
   /// Delivers the next prefetched batch; returns false at epoch end.
   /// The returned tensors are deep copies owned by the PrefetchLoader
-  /// and stay valid until the next-but-one call (double buffered).
+  /// and stay valid until the slot cycles back around (depth+1 calls).
   /// An exception thrown by the inner loader on the worker thread
   /// (e.g. a staging failure surfaced by the source) is rethrown here,
   /// on the real consumer; restarting via start_epoch discards a
   /// pending error (explicit recovery).
   bool next(Batch& out);
 
+  int depth() const noexcept { return static_cast<int>(slots_.size()) - 1; }
+
  private:
   void worker_loop();
   static void deep_copy(const Batch& src, Batch& dst);
+  int advance(int idx) const noexcept {
+    return (idx + 1) % static_cast<int>(slots_.size());
+  }
 
   DataLoader* inner_;
   std::thread worker_;
   std::mutex mu_;
   std::condition_variable cv_;
-  Batch slots_[2];
-  bool slot_full_[2] = {false, false};
+  std::vector<Batch> slots_;     ///< ring of depth+1 reusable batches
+  std::vector<char> slot_full_;  ///< parallel to slots_
   bool epoch_done_ = true;
   bool fill_requested_ = false;
   bool abort_ = false;

@@ -45,6 +45,27 @@ class SnapshotProvider {
   /// epoch boundaries when lookahead announcements outran consumption).
   virtual void abandon_prefetches(int rank) { (void)rank; }
 
+  /// Tells the provider that `rank`'s consumer received one assembled
+  /// batch (called on the consumer thread, in delivery order).
+  /// Delivery-driven providers classify the overlap split of their
+  /// oldest consumed-but-unclassified announced request here: when a
+  /// prefetch worker assembles batches ahead of compute, the wall
+  /// window that really hides a transfer runs from its announcement to
+  /// the batch's *delivery*, not to the worker's (much earlier) need.
+  /// Default: ignore.
+  virtual void notify_batch_delivered(int rank) { (void)rank; }
+
+  /// Announces `rank`'s full epoch consumption order (once per
+  /// start_epoch, before any prefetch_batch of that epoch).
+  /// Schedule-aware providers use it to pick cache eviction victims:
+  /// an entry scheduled for a nearer-future batch must outlive
+  /// already-consumed ones.  Providers whose accesses are all local
+  /// ignore it.
+  virtual void announce_schedule(int rank, const std::vector<std::int64_t>& ids) {
+    (void)rank;
+    (void)ids;
+  }
+
   /// *Exposed* modeled fetch seconds accumulated by `rank` since the
   /// last drain — the share of modeled fetch time still on the critical
   /// path after any prefetch overlap (synchronous providers expose all
@@ -92,6 +113,9 @@ class RankSource final : public SnapshotSource {
     p_->prefetch_batch(rank_, ids);
   }
   void abandon_prefetches() const override { p_->abandon_prefetches(rank_); }
+  void announce_schedule(const std::vector<std::int64_t>& ids) const override {
+    p_->announce_schedule(rank_, ids);
+  }
   std::int64_t num_snapshots() const override { return p_->num_snapshots(); }
   MemorySpaceId space() const override { return p_->space(); }
   const StandardScaler& scaler() const override { return p_->scaler(); }

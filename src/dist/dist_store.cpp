@@ -36,7 +36,13 @@ DistStore::DistStore(data::StandardDataset dataset, int world, NetworkModel netw
                      std::int64_t cache_bytes_per_rank, bool async_prefetch)
     : DistStore(dataset.num_snapshots(), spec_snapshot_bytes(dataset.spec()), world,
                 network, consolidate_requests) {
-  cache_capacity_ = std::max<std::int64_t>(0, cache_snapshots_per_rank);
+  // The store owns its cache defaults: negative = auto, sized to a
+  // couple of batches of this dataset's spec (the lookahead working
+  // set) and never below the historical default.
+  cache_capacity_ = cache_snapshots_per_rank >= 0
+                        ? cache_snapshots_per_rank
+                        : std::max(kDefaultCacheSnapshots,
+                                   2 * dataset.spec().batch_size);
   cache_bytes_capacity_ = std::max<std::int64_t>(0, cache_bytes_per_rank);
   async_prefetch_ = async_prefetch;
   dataset_.emplace(std::move(dataset));
@@ -71,8 +77,12 @@ DistStore::~DistStore() {
     for (auto& req : rs.queue) {
       if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
     }
+    for (auto& req : rs.awaiting_delivery) {
+      if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
+    }
     rs.in_flight.clear();
     rs.queue.clear();
+    rs.awaiting_delivery.clear();
   }
 }
 
@@ -157,27 +167,54 @@ DistStore::BatchPrice DistStore::price_batch(
   return p;
 }
 
+std::int64_t DistStore::future_schedule_pos_locked(const RankState& rs,
+                                                   std::int64_t i) {
+  const auto it = rs.schedule_pos.find(i);
+  if (it == rs.schedule_pos.end() || it->second < rs.schedule_progress) return -1;
+  return it->second;
+}
+
 void DistStore::evict_over_capacity_locked(RankState& rs) {
   const auto over = [&] {
     if (static_cast<std::int64_t>(rs.cache.size()) > cache_capacity_) return true;
     return cache_bytes_capacity_ > 0 && rs.cache_bytes > cache_bytes_capacity_;
   };
-  std::uint64_t evicted = 0;
-  // Back-to-front over the LRU order, skipping pinned (announced but
-  // not yet consumed) entries — those must survive regardless of the
-  // configured bounds or the consolidated fetch model breaks.
-  auto it = rs.lru.end();
-  while (over() && it != rs.lru.begin()) {
-    auto cand = std::prev(it);
-    auto ce = rs.cache.find(*cand);
-    if (ce->second.pins > 0) {
-      it = cand;
-      continue;
+  if (!over()) return;
+  // Schedule-aware victim selection, one walk: unpinned entries with
+  // no remaining scheduled use evict first (already-consumed residue,
+  // least recently used first), then — only if the bounds still bite —
+  // still-scheduled entries by farthest next use (Belady fallback), so
+  // a nearer-scheduled entry never evicts while consumed residue
+  // exists.  Pinned entries (announced but not yet consumed) must
+  // survive regardless of the configured bounds or the consolidated
+  // fetch model breaks.  Pins and schedule positions cannot change
+  // while rs.m is held, so the candidate partition stays valid across
+  // the whole pass.
+  std::vector<std::int64_t> residue;  // LRU-oldest first
+  std::vector<std::pair<std::int64_t, std::int64_t>> scheduled;  // (pos, id)
+  for (auto it = rs.lru.rbegin(); it != rs.lru.rend(); ++it) {
+    const auto ce = rs.cache.find(*it);
+    if (ce->second.pins > 0) continue;
+    const std::int64_t pos = future_schedule_pos_locked(rs, *it);
+    if (pos < 0) {
+      residue.push_back(*it);
+    } else {
+      scheduled.emplace_back(pos, *it);
     }
+  }
+  std::sort(scheduled.begin(), scheduled.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::uint64_t evicted = 0;
+  const auto evict_id = [&](std::int64_t id) {
+    const auto ce = rs.cache.find(id);
     rs.cache_bytes -= ce->second.bytes;
+    rs.lru.erase(ce->second.lru_it);
     rs.cache.erase(ce);
-    it = rs.lru.erase(cand);
     ++evicted;
+  };
+  for (std::size_t i = 0; over() && i < residue.size(); ++i) evict_id(residue[i]);
+  for (std::size_t i = 0; over() && i < scheduled.size(); ++i) {
+    evict_id(scheduled[i].second);
   }
   if (evicted > 0) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -225,6 +262,12 @@ std::pair<Tensor, Tensor> DistStore::consume_locked(RankState& rs, std::int64_t 
   CacheEntry& e = it->second;
   rs.lru.splice(rs.lru.begin(), rs.lru, e.lru_it);
   if (e.pins > 0) --e.pins;
+  // Consuming a scheduled snapshot advances the schedule cursor: every
+  // position at or before it is now in the past for eviction purposes.
+  const auto sp = rs.schedule_pos.find(i);
+  if (sp != rs.schedule_pos.end() && sp->second >= rs.schedule_progress) {
+    rs.schedule_progress = sp->second + 1;
+  }
   // Handles (shared storage) taken before the eviction pass may drop
   // the freshly unpinned entry from a zero/tiny-capacity cache.
   Tensor x = e.x;
@@ -385,7 +428,17 @@ std::pair<Tensor, Tensor> DistStore::fetch(int rank, std::int64_t i) {
     // case we fall through and fault the id back in.
     std::shared_ptr<StageRequest> req = fit->second;
     rs.in_flight.erase(fit);
-    if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/false);
+    if (!req->classified && !req->awaiting_delivery) {
+      if (delivery_driven_) {
+        // A prefetch worker is fetching ahead of compute: the window
+        // that really hides this request runs until the batch reaches
+        // the consumer (notify_batch_delivered), not until here.
+        req->awaiting_delivery = true;
+        rs.awaiting_delivery.push_back(req);
+      } else {
+        classify_locked(rs, *req, /*fully_overlapped=*/false);
+      }
+    }
     rs.cv.wait(lk, [&] { return req->staged; });
     if (rs.cache.count(i) != 0) return consume_locked(rs, i);
     if (req->error) std::rethrow_exception(req->error);
@@ -426,6 +479,13 @@ void DistStore::abandon_prefetches(int rank) {
     req->orphaned = true;
   }
   rs.in_flight.clear();
+  // Delivery-driven requests a truncated epoch assembled but never
+  // delivered: the consumer never computed on them, so the modeled
+  // time was fully hidden.
+  for (auto& req : rs.awaiting_delivery) {
+    if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/true);
+  }
+  rs.awaiting_delivery.clear();
   // Quiesce the pipeline: orphaned requests still move their bytes
   // (the ledger was priced at enqueue and must stay backed by real
   // movement), so wait until the stager has drained the queue — and
@@ -436,7 +496,38 @@ void DistStore::abandon_prefetches(int rank) {
     (void)id;
     entry.pins = 0;
   }
+  // The truncated epoch's remaining schedule will never be consumed;
+  // drop it before evicting so stale positions don't shield residue
+  // (the next start_epoch announces a fresh schedule anyway).
+  rs.schedule_pos.clear();
+  rs.schedule_progress = 0;
   evict_over_capacity_locked(rs);
+}
+
+void DistStore::notify_batch_delivered(int rank) {
+  check_rank(rank);
+  if (!dataset_ || !delivery_driven_) return;
+  RankState& rs = rank_state(rank);
+  std::lock_guard<std::mutex> lk(rs.m);
+  if (rs.awaiting_delivery.empty()) return;
+  // One request per delivery, FIFO: requests are enqueued and consumed
+  // in batch order, so the oldest unclassified one belongs to this (or
+  // an earlier, remote-free) batch — classifying it now measures the
+  // window to the consumer's need, never past it.
+  std::shared_ptr<StageRequest> req = rs.awaiting_delivery.front();
+  rs.awaiting_delivery.pop_front();
+  if (!req->classified) classify_locked(rs, *req, /*fully_overlapped=*/false);
+}
+
+void DistStore::announce_schedule(int rank, const std::vector<std::int64_t>& ids) {
+  check_rank(rank);
+  if (!dataset_) return;
+  RankState& rs = rank_state(rank);
+  std::lock_guard<std::mutex> lk(rs.m);
+  rs.schedule_pos.clear();
+  rs.schedule_progress = 0;
+  std::int64_t pos = 0;
+  for (std::int64_t id : ids) rs.schedule_pos.emplace(id, pos++);
 }
 
 double DistStore::drain_modeled_seconds(int rank) {

@@ -36,13 +36,24 @@
 // Async prefetch pipeline (paper §7 future work): with
 // async_prefetch, prefetch_batch() prices the batch and enqueues it on
 // a per-rank background staging thread instead of copying inline;
-// fetch() blocks only on snapshots not yet staged.  Modeled fetch time
-// then splits into *overlapped* seconds (hidden behind the real
-// compute that elapsed between the announcement and the first time the
-// consumer needed the batch) and *exposed* seconds (the remainder, the
-// part still on the critical path).  drain_modeled_seconds() drains
-// only the exposed share — the synchronous path exposes everything, so
-// the two modes price identical ledgers and differ only in the split.
+// fetch() blocks only on snapshots not yet staged.  Loaders may keep
+// any number of batches in flight (depth-N lookahead) — the staging
+// queue is FIFO and every in-flight batch's snapshots stay pinned.
+// Modeled fetch time then splits into *overlapped* seconds (hidden
+// behind the real compute that elapsed between the announcement and
+// the first time the consumer needed the batch) and *exposed* seconds
+// (the remainder, the part still on the critical path).
+// drain_modeled_seconds() drains only the exposed share — the
+// synchronous path exposes everything, so the two modes price
+// identical ledgers and differ only in the split.
+//
+// Schedule-aware eviction: announce_schedule(rank, ids) installs the
+// epoch's consumption order; when the cache must evict, victims are
+// unpinned entries with no remaining scheduled use first (LRU among
+// them), then the farthest-scheduled (Belady fallback) — so a
+// snapshot scheduled for a nearer-future batch always outlives
+// already-consumed residue.  Without a schedule, eviction degrades to
+// plain pinned-aware LRU.
 //
 // With consolidate_requests, all items owned by one peer travel in a
 // single request per batch — the Dask batching optimization §5.1
@@ -111,13 +122,16 @@ class DistStore final : public data::SnapshotProvider {
   /// its snapshots contiguously across `world` ranks.
   /// `cache_snapshots_per_rank` bounds each rank's remote cache in
   /// snapshots (0 is a valid zero-capacity cache: announced snapshots
-  /// survive until consumed, then evict immediately);
-  /// `cache_bytes_per_rank` adds a byte bound on top (0 = no byte
-  /// bound).  `async_prefetch` spawns one staging thread per rank and
-  /// turns prefetch_batch into an asynchronous enqueue.
+  /// survive until consumed, then evict immediately; negative = auto —
+  /// the store owns its default and sizes the cache to a couple of
+  /// batches of the dataset's spec, never below
+  /// kDefaultCacheSnapshots); `cache_bytes_per_rank` adds a byte bound
+  /// on top (0 = no byte bound).  `async_prefetch` spawns one staging
+  /// thread per rank and turns prefetch_batch into an asynchronous
+  /// enqueue.
   DistStore(data::StandardDataset dataset, int world, NetworkModel network,
             bool consolidate_requests = true,
-            std::int64_t cache_snapshots_per_rank = kDefaultCacheSnapshots,
+            std::int64_t cache_snapshots_per_rank = -1,
             std::int64_t cache_bytes_per_rank = 0, bool async_prefetch = false);
 
   ~DistStore() override;
@@ -161,6 +175,24 @@ class DistStore final : public data::SnapshotProvider {
   std::pair<Tensor, Tensor> fetch(int rank, std::int64_t i) override;
   void prefetch_batch(int rank, const std::vector<std::int64_t>& ids) override;
   void abandon_prefetches(int rank) override;
+  void notify_batch_delivered(int rank) override;
+  /// Switches first-need classification from the fetching thread to
+  /// notify_batch_delivered (FIFO, one request per delivery).  Enable
+  /// BEFORE any consumer runs when a prefetch pipeline assembles
+  /// batches ahead of compute — the worker's fetch happens up to
+  /// `depth` batches before the consumer's need, and classifying there
+  /// would shrink the measured window as depth grows.  Requests a
+  /// truncated epoch consumed but never delivered are reconciled as
+  /// fully overlapped by abandon_prefetches.
+  void set_delivery_driven_classification(bool on) { delivery_driven_ = on; }
+  /// Installs `rank`'s epoch consumption order for schedule-aware
+  /// eviction (replaces any previous schedule; cleared by
+  /// abandon_prefetches).  Position in `ids` = consumption order;
+  /// eviction victims are chosen among unpinned entries preferring
+  /// ones with no remaining scheduled use, then the farthest-scheduled
+  /// (Belady fallback) — a snapshot scheduled for a nearer-future
+  /// batch is never evicted while an already-consumed one is resident.
+  void announce_schedule(int rank, const std::vector<std::int64_t>& ids) override;
   double drain_modeled_seconds(int rank) override;
   std::int64_t num_snapshots() const noexcept override { return num_snapshots_; }
   MemorySpaceId space() const override;
@@ -188,6 +220,7 @@ class DistStore final : public data::SnapshotProvider {
     std::chrono::steady_clock::time_point enqueued_at;
     bool staged = false;
     bool classified = false;
+    bool awaiting_delivery = false;  ///< consumed, queued for delivery classification
     bool orphaned = false;  ///< abandoned before staging: stage unpinned
     /// Staging failure (e.g. bad_alloc in a clone), rethrown on the
     /// consumer that waits for this request instead of terminating the
@@ -208,9 +241,19 @@ class DistStore final : public data::SnapshotProvider {
     std::deque<std::shared_ptr<StageRequest>> queue;  // enqueued, not yet staged
     /// Announced-but-unconsumed remote ids -> the request staging them.
     std::unordered_map<std::int64_t, std::shared_ptr<StageRequest>> in_flight;
+    /// Delivery-driven mode: requests the (worker) consumer fetched,
+    /// FIFO, waiting for notify_batch_delivered to classify them.
+    std::deque<std::shared_ptr<StageRequest>> awaiting_delivery;
     std::thread stager;
     bool staging = false;  ///< a popped request is mid-staging
     bool stop = false;
+
+    /// Epoch schedule for schedule-aware eviction: id -> position in
+    /// the announced consumption order.  Positions below
+    /// schedule_progress have already been consumed (remote consumes
+    /// advance it); entries scheduled at or past it are still needed.
+    std::unordered_map<std::int64_t, std::int64_t> schedule_pos;
+    std::int64_t schedule_progress = 0;
   };
 
   /// Per-owner-consolidated price of one announced batch (the PR 1
@@ -243,9 +286,16 @@ class DistStore final : public data::SnapshotProvider {
   /// Hands the cached snapshot to the consumer (rs.m held): unpins one
   /// announcement and enforces the cache bounds.
   std::pair<Tensor, Tensor> consume_locked(RankState& rs, std::int64_t i);
-  /// Evicts unpinned LRU entries while over either bound (rs.m held);
-  /// evictions are counted into stats_.cache_evictions.
+  /// Evicts unpinned entries while over either bound (rs.m held);
+  /// victim choice is schedule-aware: entries with no remaining
+  /// scheduled use go first (LRU order among them), then the
+  /// farthest-scheduled; pinned (announced, unconsumed) entries are
+  /// never victims.  Evictions count into stats_.cache_evictions.
   void evict_over_capacity_locked(RankState& rs);
+  /// Next scheduled position of `i` in `rs`'s announced epoch order,
+  /// or -1 when `i` is unscheduled / already past (rs.m held).
+  static std::int64_t future_schedule_pos_locked(const RankState& rs,
+                                                 std::int64_t i);
   /// First-need classification of an async request (rs.m held):
   /// exposed = max(0, modeled - wall seconds since enqueue).
   void classify_locked(RankState& rs, StageRequest& req, bool fully_overlapped);
@@ -261,6 +311,7 @@ class DistStore final : public data::SnapshotProvider {
   std::int64_t cache_capacity_ = kDefaultCacheSnapshots;
   std::int64_t cache_bytes_capacity_ = 0;  ///< 0 = no byte bound
   bool async_prefetch_ = false;
+  bool delivery_driven_ = false;  ///< set before consumers run, const after
 
   std::optional<data::StandardDataset> dataset_;
   std::vector<std::unique_ptr<RankState>> ranks_;

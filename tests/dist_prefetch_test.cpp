@@ -10,7 +10,13 @@
 //  * PrefetchLoader abort/restart stress (a TSan target — this suite
 //    runs under PGTI_SANITIZE=thread via scripts/check.sh);
 //  * DistTrainer with prefetch on vs off: bit-identical losses,
-//    strictly lower exposed fetch time, ledger invariant intact.
+//    strictly lower exposed fetch time, ledger invariant intact;
+//  * the depth-N generalization: losses bit-identical across
+//    prefetch_depth in {0, 1, 2, 4} for all four strategies, the
+//    priced ledger independent of depth, truncated-epoch
+//    reconciliation at depth > 1, and the schedule-aware eviction
+//    policy (a snapshot scheduled for a nearer-future batch outlives
+//    already-consumed residue).
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -388,9 +394,9 @@ core::DistConfig prefetch_dist(core::DistMode mode) {
 
 TEST(DistPrefetch, BaselineLossesBitIdenticalAndExposedStrictlyLower) {
   core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdp);
-  cfg.prefetch = false;
+  cfg.prefetch_depth = 0;
   const core::DistResult off = core::DistTrainer(cfg).run();
-  cfg.prefetch = true;
+  cfg.prefetch_depth = 1;
   const core::DistResult on = core::DistTrainer(cfg).run();
 
   // The pipeline must not perturb training by a single bit.
@@ -421,7 +427,7 @@ TEST(DistPrefetch, BaselineLossesBitIdenticalAndExposedStrictlyLower) {
 
 TEST(DistPrefetch, ZeroCapacityCacheTrainsWithExactLedger) {
   core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdp);
-  cfg.prefetch = true;
+  cfg.prefetch_depth = 1;
   cfg.store_cache_snapshots = 0;
   const core::DistResult r = core::DistTrainer(cfg).run();
   ASSERT_GT(r.store.remote_snapshots, 0u);
@@ -431,7 +437,7 @@ TEST(DistPrefetch, ZeroCapacityCacheTrainsWithExactLedger) {
 
 TEST(DistPrefetch, BytesBoundedCacheTrainsWithExactLedger) {
   core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdpBatchShuffle);
-  cfg.prefetch = true;
+  cfg.prefetch_depth = 1;
   cfg.store_cache_snapshots = 1 << 20;  // count bound slack
   cfg.store_cache_bytes =
       4 * 2 * cfg.spec.horizon * cfg.spec.nodes * cfg.spec.features *
@@ -448,9 +454,9 @@ TEST(DistPrefetch, IndexModesBitIdenticalWithPrefetch) {
        {core::DistMode::kDistributedIndex, core::DistMode::kGeneralizedIndex}) {
     core::DistConfig cfg = prefetch_dist(mode);
     cfg.epochs = 1;
-    cfg.prefetch = false;
+    cfg.prefetch_depth = 0;
     const core::DistResult off = core::DistTrainer(cfg).run();
-    cfg.prefetch = true;
+    cfg.prefetch_depth = 1;
     const core::DistResult on = core::DistTrainer(cfg).run();
     ASSERT_EQ(on.curve.size(), off.curve.size());
     for (std::size_t e = 0; e < off.curve.size(); ++e) {
@@ -461,6 +467,182 @@ TEST(DistPrefetch, IndexModesBitIdenticalWithPrefetch) {
     }
     EXPECT_EQ(on.modeled_fetch_seconds, 0.0);
   }
+}
+
+// ------------------------------------------ schedule-aware eviction
+
+TEST(ScheduleAwareEviction, NearerScheduledSnapshotOutlivesConsumedResidue) {
+  // A resident snapshot the announced schedule still needs must not be
+  // evicted while already-consumed residue (unscheduled, or scheduled
+  // only in the past) is available — the victim plain LRU would pick
+  // here is exactly the wrong one.
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/2);
+  const auto [lo1, hi1] = store.partition(1);
+  ASSERT_GE(hi1 - lo1, 3);
+  const std::int64_t a = lo1, b = lo1 + 1, c = lo1 + 2;
+  const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+  const auto touch = [&](std::int64_t id) {
+    store.fetch_batch(0, {id});
+    store.fetch(0, id);
+  };
+
+  // Epoch 1, schedule [b, a]: both consumed; LRU now front=a, back=b.
+  std::vector<std::int64_t> epoch1{b, a};
+  store.announce_schedule(0, epoch1);
+  touch(b);
+  touch(a);
+  EXPECT_EQ(store.stats().bytes_copied, 2u * sb);
+  EXPECT_EQ(store.stats().cache_evictions, 0u);
+
+  // Epoch 2, schedule [c, b]: b is needed again one batch from now but
+  // is NOT yet announced (beyond the lookahead window); a is residue.
+  std::vector<std::int64_t> epoch2{c, b};
+  store.announce_schedule(0, epoch2);
+  touch(c);  // staging c overflows capacity 2 -> one eviction
+  EXPECT_EQ(store.stats().cache_evictions, 1u);
+  // Plain LRU would have evicted b (least recently used); the schedule
+  // says b is nearer-future, so a must have been the victim...
+  touch(b);
+  const dist::StoreStats st = store.stats();
+  EXPECT_EQ(st.cache_hits, 1u) << "b must still be resident (a was evicted)";
+  EXPECT_EQ(st.bytes_copied, 3u * sb) << "a, b, c copied exactly once each";
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+}
+
+TEST(ScheduleAwareEviction, WithoutScheduleEvictionDegradesToPlainLru) {
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/2);
+  const auto [lo1, hi1] = store.partition(1);
+  ASSERT_GE(hi1 - lo1, 3);
+  const auto touch = [&](std::int64_t id) {
+    store.fetch_batch(0, {id});
+    store.fetch(0, id);
+  };
+  touch(lo1);      // LRU back
+  touch(lo1 + 1);  // LRU front
+  touch(lo1 + 2);  // evicts lo1 (no schedule announced)
+  EXPECT_EQ(store.stats().cache_evictions, 1u);
+  touch(lo1 + 1);  // still resident -> hit
+  EXPECT_EQ(store.stats().cache_hits, 1u);
+}
+
+// ------------------------------------------ depth-N generalization
+
+TEST(DepthNPrefetch, LossesBitIdenticalAcrossDepthsAllStrategies) {
+  // The acceptance bar of the depth-N pipeline: per-epoch losses
+  // bit-identical across prefetch_depth in {off, 1, 2, 4} for every
+  // distribution strategy.
+  for (core::DistMode mode :
+       {core::DistMode::kDistributedIndex, core::DistMode::kBaselineDdp,
+        core::DistMode::kGeneralizedIndex,
+        core::DistMode::kBaselineDdpBatchShuffle}) {
+    core::DistConfig cfg = prefetch_dist(mode);
+    cfg.prefetch_depth = 0;
+    const core::DistResult base = core::DistTrainer(cfg).run();
+    for (int depth : {1, 2, 4}) {
+      core::DistConfig dcfg = cfg;
+      dcfg.prefetch_depth = depth;
+      const core::DistResult r = core::DistTrainer(dcfg).run();
+      ASSERT_EQ(r.curve.size(), base.curve.size());
+      for (std::size_t e = 0; e < base.curve.size(); ++e) {
+        EXPECT_EQ(r.curve[e].train_mae, base.curve[e].train_mae)
+            << "mode " << static_cast<int>(mode) << " depth " << depth
+            << " epoch " << e;
+        EXPECT_EQ(r.curve[e].val_mae, base.curve[e].val_mae)
+            << "mode " << static_cast<int>(mode) << " depth " << depth
+            << " epoch " << e;
+      }
+    }
+  }
+}
+
+TEST(DepthNPrefetch, PricedLedgerIndependentOfDepth) {
+  // Production caps keep every announced batch consumed, so the priced
+  // fetch model must not depend on how deep the pipeline runs; only
+  // the cache's copied/hit split may shift (eviction timing differs
+  // with N batches pinned), and it must always decompose exactly.
+  core::DistConfig cfg = prefetch_dist(core::DistMode::kBaselineDdp);
+  cfg.prefetch_depth = 0;
+  const core::DistResult sync_r = core::DistTrainer(cfg).run();
+  ASSERT_GT(sync_r.store.remote_snapshots, 0u);
+  for (int depth : {1, 2, 4}) {
+    core::DistConfig dcfg = cfg;
+    dcfg.prefetch_depth = depth;
+    const core::DistResult r = core::DistTrainer(dcfg).run();
+    EXPECT_EQ(r.store.local_snapshots, sync_r.store.local_snapshots) << depth;
+    EXPECT_EQ(r.store.remote_snapshots, sync_r.store.remote_snapshots) << depth;
+    EXPECT_EQ(r.store.remote_bytes, sync_r.store.remote_bytes) << depth;
+    EXPECT_EQ(r.store.request_messages, sync_r.store.request_messages) << depth;
+    EXPECT_NEAR(r.store.modeled_seconds, sync_r.store.modeled_seconds, 1e-9)
+        << depth;
+    EXPECT_EQ(r.store.remote_bytes,
+              r.store.bytes_copied + r.store.cache_hit_bytes)
+        << depth;
+    EXPECT_NEAR(r.store.overlapped_seconds + r.store.exposed_seconds,
+                r.store.modeled_seconds, 1e-9)
+        << depth;
+    EXPECT_LE(r.modeled_fetch_seconds, sync_r.modeled_fetch_seconds) << depth;
+  }
+}
+
+TEST(DepthNPrefetch, TruncatedEpochReconciliationAtDepthFour) {
+  // A consumer that walks away mid-epoch leaves up to depth announced
+  // batches in flight; the next start_epoch abandons them.  Orphans
+  // still move their bytes (the ledger stays backed by real movement)
+  // and count as fully overlapped; afterwards the stats decompose
+  // exactly and the pipeline delivers clean epochs again.
+  data::StandardDataset ds = tiny_dataset();
+  dist::DistStore store(ds, 2, dist::NetworkModel{}, /*consolidate=*/true,
+                        /*cache_snapshots_per_rank=*/0,
+                        /*cache_bytes_per_rank=*/0, /*async_prefetch=*/true);
+  data::RankSource source(store, /*rank=*/0);
+  data::LoaderOptions opt;
+  opt.batch_size = 8;
+  opt.sampler = data::SamplerOptions{data::ShuffleMode::kGlobal, 0, 1, 13, 8};
+  opt.prefetch_lookahead = 4;
+  const std::int64_t n = store.num_snapshots();
+  data::DataLoader inner(source, opt, 0, n);
+  data::PrefetchLoader prefetch(inner, /*depth=*/4);
+
+  data::Batch b;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    prefetch.start_epoch(epoch);  // abandons the previous epoch's leftovers
+    ASSERT_TRUE(prefetch.next(b)) << epoch;  // consume one batch, walk away
+  }
+  // Quiesce the worker (a zero-batch epoch assembles nothing; its
+  // start abandons epoch 2's leftovers) and close the split: whatever
+  // was announced but never consumed was never waited on.
+  prefetch.start_epoch(0, /*max_batches=*/0);
+  EXPECT_FALSE(prefetch.next(b));
+  store.abandon_prefetches(0);
+  store.drain_modeled_seconds(0);
+  const dist::StoreStats st = store.stats();
+  ASSERT_GT(st.remote_snapshots, 0u);
+  EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  EXPECT_NEAR(st.overlapped_seconds + st.exposed_seconds, st.modeled_seconds, 1e-9);
+
+  // The pipeline recovers: a full epoch delivers the exact sequence.
+  data::DataLoader plain_loader(source, data::LoaderOptions{opt.batch_size,
+                                                            opt.sampler, true},
+                                0, n);
+  plain_loader.start_epoch(7);
+  std::vector<std::vector<std::int64_t>> expected;
+  while (plain_loader.next(b)) expected.push_back(b.indices);
+  store.abandon_prefetches(0);  // release the plain loader's announcements
+  prefetch.start_epoch(7);
+  std::size_t i = 0;
+  while (prefetch.next(b)) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(b.indices, expected[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+  const dist::StoreStats final_st = store.stats();
+  EXPECT_EQ(final_st.remote_bytes,
+            final_st.bytes_copied + final_st.cache_hit_bytes);
 }
 
 }  // namespace
