@@ -13,8 +13,11 @@
 #                  tier-1 suites under it — dist_test,
 #                  dist_determinism_test, dist_prefetch_test (async
 #                  staging pipeline + PrefetchLoader abort/restart
-#                  stress) and epoch_engine_test (the shared
-#                  Trainer/DistTrainer pipeline at depth N).
+#                  stress), epoch_engine_test (the shared
+#                  Trainer/DistTrainer pipeline at depth N), and
+#                  grad_overlap_test (per-rank comm threads firing
+#                  ready-bucket all-reduces under backward, including
+#                  the mid-backward fault-injection sweep).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -34,9 +37,9 @@ if [ -n "${sanitize}" ]; then
        exit 1 ;;
   esac
   echo
-  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine suites) in ${san_dir} =="
+  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap suites) in ${san_dir} =="
   cmake -B "${san_dir}" -S "${repo_root}" -DPGTI_SANITIZE="${sanitize}" -DPGTI_WERROR=ON
   cmake --build "${san_dir}" -j "${jobs}"
   ctest --test-dir "${san_dir}" --output-on-failure -j "${jobs}" -L tier1 \
-        -R '^(dist_|epoch_engine)'
+        -R '^(dist_|epoch_engine|grad_overlap)'
 fi

@@ -1,3 +1,11 @@
+// Contract every backward_fn here upholds (and that backward()'s
+// grad-ready counting relies on, see GradReadyObserver in variable.h):
+// a node's backward_fn accumulates the ENTIRE contribution into each
+// parent exactly once, synchronously, before it returns.  A backward_fn
+// that deferred part of a parent's accumulation — or touched a Variable
+// it did not list as an input — would make backward() fire
+// on_grad_ready with a partial gradient and silently corrupt the
+// overlapped all-reduce.
 #include "autograd/ops.h"
 
 #include <cmath>

@@ -1,6 +1,7 @@
 #include "autograd/variable.h"
 
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "tensor/tensor_ops.h"
@@ -91,15 +92,21 @@ void topo_visit(const std::shared_ptr<Variable::Impl>& node,
 
 }  // namespace
 
-void Variable::backward() {
+void Variable::backward() { backward(static_cast<GradReadyObserver*>(nullptr)); }
+
+void Variable::backward(const Tensor& grad_output) {
+  backward(grad_output, nullptr);
+}
+
+void Variable::backward(GradReadyObserver* observer) {
   if (!impl_) throw std::logic_error("Variable::backward on undefined variable");
   if (impl_->value.numel() != 1) {
     throw std::logic_error("Variable::backward without seed requires a scalar value");
   }
-  backward(Tensor::ones(impl_->value.shape(), impl_->value.space()));
+  backward(Tensor::ones(impl_->value.shape(), impl_->value.space()), observer);
 }
 
-void Variable::backward(const Tensor& grad_output) {
+void Variable::backward(const Tensor& grad_output, GradReadyObserver* observer) {
   if (!impl_) throw std::logic_error("Variable::backward on undefined variable");
   if (grad_output.shape() != impl_->value.shape()) {
     throw std::invalid_argument("Variable::backward: grad_output shape mismatch");
@@ -109,6 +116,32 @@ void Variable::backward(const Tensor& grad_output) {
   std::unordered_set<Impl*> seen;
   std::vector<std::shared_ptr<Impl>> order;
   topo_visit(impl_, seen, order);
+
+  // Producer countdown for grad-ready notification: a requires_grad
+  // node's gradient is final once every distinct consumer that can
+  // accumulate into it has retired.  Counts are taken over the sweep's
+  // own tape, so leaves unreachable from the root never fire.
+  std::unordered_map<Impl*, int> pending;
+  std::unordered_set<Impl*> counted;
+  if (observer) {
+    std::vector<Impl*> leaves;
+    for (const auto& n : order) {
+      if (n->requires_grad) {
+        pending.emplace(n.get(), 0);
+        leaves.push_back(n.get());
+      }
+    }
+    for (const auto& n : order) {
+      if (n->parents.empty()) continue;
+      counted.clear();
+      for (const auto& p : n->parents) {
+        auto it = pending.find(p.get());
+        if (it != pending.end() && counted.insert(p.get()).second) ++it->second;
+      }
+    }
+    observer->on_backward_start(leaves);
+  }
+
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Impl& node = **it;
     if (node.backward_fn && node.grad.defined()) {
@@ -116,6 +149,27 @@ void Variable::backward(const Tensor& grad_output) {
       // Free intermediate gradients eagerly; only leaves retain grads
       // (so repeated backward() calls accumulate exactly once per call).
       if (!node.requires_grad) node.grad = Tensor();
+    }
+    if (!observer) continue;
+    // Reverse-topo order retires every consumer before the leaf itself
+    // is reached, so by a leaf's own retirement its count has already
+    // drained — except when the leaf *is* the root, covered here.
+    if (node.requires_grad) {
+      auto self = pending.find(&node);
+      if (self != pending.end() && self->second == 0) {
+        self->second = -1;  // fired
+        observer->on_grad_ready(&node);
+      }
+    }
+    counted.clear();
+    for (const auto& p : node.parents) {
+      auto pit = pending.find(p.get());
+      if (pit == pending.end() || pit->second < 0) continue;
+      if (!counted.insert(p.get()).second) continue;
+      if (--pit->second == 0) {
+        pit->second = -1;  // fired
+        observer->on_grad_ready(p.get());
+      }
     }
   }
 }

@@ -15,6 +15,8 @@
 
 namespace pgti {
 
+class GradReadyObserver;
+
 class Variable {
  public:
   struct Impl {
@@ -48,6 +50,11 @@ class Variable {
   void backward();
   /// Runs reverse-mode accumulation seeding with grad_output.
   void backward(const Tensor& grad_output);
+  /// As above, additionally notifying `observer` as each participating
+  /// requires_grad leaf receives its final gradient contribution.
+  /// A null observer is equivalent to the plain overloads.
+  void backward(GradReadyObserver* observer);
+  void backward(const Tensor& grad_output, GradReadyObserver* observer);
 
   /// Detached view of the same value (cuts the tape).
   Variable detach() const;
@@ -64,6 +71,34 @@ class Variable {
  private:
   explicit Variable(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
   std::shared_ptr<Impl> impl_;
+};
+
+/// Observes gradient completion during backward().
+///
+/// backward() counts, for every requires_grad leaf reachable from the
+/// root, the distinct consumer nodes that can still accumulate into it.
+/// When the last such consumer retires, the leaf's gradient is final
+/// for this sweep and on_grad_ready fires — while the rest of the
+/// reverse sweep is still running.  dist::OverlappedGradBucket uses
+/// this to launch per-bucket all-reduces under the tail of backward.
+///
+/// Both callbacks run on the thread that called backward().  Callback
+/// order is a pure function of the tape, so replicas that build
+/// identical graphs observe identical ready sequences — the property
+/// the deterministic overlapped all-reduce relies on.
+class GradReadyObserver {
+ public:
+  virtual ~GradReadyObserver() = default;
+
+  /// Called once per sweep, before any backward_fn runs, with every
+  /// participating requires_grad leaf in deterministic (topological
+  /// discovery) order.  Leaves absent from this list receive no
+  /// on_grad_ready this sweep.
+  virtual void on_backward_start(const std::vector<Variable::Impl*>& leaves) = 0;
+
+  /// Called exactly once per participating leaf, when its gradient has
+  /// received the last accumulation of this sweep.
+  virtual void on_grad_ready(const Variable::Impl* leaf) = 0;
 };
 
 }  // namespace pgti

@@ -60,6 +60,13 @@ enum class DistMode {
   kBaselineDdpBatchShuffle,  ///< partitioned store, batch-level shuffle
 };
 
+/// When gradient all-reduces run relative to backward (DESIGN.md §13).
+enum class GradOverlap {
+  kOff,     ///< serial: backward completes, then every bucket reduces
+  kStrict,  ///< ready-bucket overlap; losses bit-identical to kOff
+  kStale1,  ///< bounded staleness: step k applies step k-1's buckets
+};
+
 /// Multi-worker workflow configuration.
 struct DistConfig {
   data::DatasetSpec spec;
@@ -95,6 +102,13 @@ struct DistConfig {
   /// the *exposed* share of modeled fetch time (what the cluster is
   /// charged) shrinks as depth grows.
   int prefetch_depth = 0;
+  /// Gradient-plane overlap: fire per-bucket all-reduces from a
+  /// per-rank comm thread as buckets become ready during backward
+  /// (kStrict keeps losses bit-identical to kOff at every world size
+  /// and prefetch depth; kStale1 trades one step of staleness for a
+  /// fully hidden gradient sync).  DistResult splits the modeled
+  /// grad-sync time into overlapped vs exposed seconds either way.
+  GradOverlap grad_overlap = GradOverlap::kOff;
 };
 
 }  // namespace pgti::core

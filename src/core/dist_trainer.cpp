@@ -10,6 +10,7 @@
 #include "data/snapshot_provider.h"
 #include "dist/ddp.h"
 #include "dist/dist_store.h"
+#include "dist/overlap.h"
 #include "optim/optim.h"
 #include "runtime/timer.h"
 
@@ -175,7 +176,24 @@ DistResult DistTrainer::run() {
     adam_opt.lr = cfg_.lr;
     optim::Adam opt(params, adam_opt);
     optim::LinearScalingSchedule schedule(cfg_.lr, world, cfg_.warmup_epochs);
-    dist::GradBucket bucket(params);
+
+    // Gradient plane: serial bucketed averaging, or ready-bucket
+    // overlap where backward itself launches each bucket's all-reduce
+    // on a per-rank comm thread (DESIGN.md §13).  Both share the same
+    // bucket partition and the same deterministic tree, so kStrict is
+    // bit-identical to kOff.
+    std::optional<dist::GradBucket> bucket;
+    std::optional<dist::OverlappedGradBucket> obucket;
+    double serial_sync_seconds = 0.0;  // off-mode exposed accumulation
+    if (cfg_.grad_overlap == GradOverlap::kOff) {
+      bucket.emplace(params);
+    } else {
+      obucket.emplace(comm, params,
+                      cfg_.grad_overlap == GradOverlap::kStale1
+                          ? dist::OverlappedGradBucket::Mode::kStale1
+                          : dist::OverlappedGradBucket::Mode::kStrict,
+                      cluster.network());
+    }
 
     // ---- the shared pipeline (DESIGN.md §12) -----------------------------
     // Each rank drives the same EpochEngine the single-process Trainer
@@ -209,7 +227,19 @@ DistResult DistTrainer::run() {
       cluster.charge_seconds(val_provider->drain_modeled_seconds(rank));
     });
     EpochEngine::Hooks hooks;
-    hooks.sync_gradients = [&] { bucket.allreduce_average(comm, params); };
+    if (obucket) {
+      hooks.grad_observer = &*obucket;
+      hooks.sync_gradients = [&] { obucket->drain(); };
+    } else {
+      // Serial path: the whole bucket sweep sits on the critical path,
+      // so every step exposes its full modeled sync cost.
+      const double step_sync =
+          bucket->modeled_sync_seconds(cluster.network(), world);
+      hooks.sync_gradients = [&, step_sync] {
+        bucket->allreduce_average(comm, params);
+        serial_sync_seconds += step_sync;
+      };
+    }
     EpochEngine engine(*bundle.model, opt, hooks);
 
     // Every rank must issue the SAME number of gradient all-reduces per
@@ -239,6 +269,13 @@ DistResult DistTrainer::run() {
       const EpochEngine::EpochSums val =
           engine.eval_epoch(val_pipe, val_cap, EpochEngine::Metric::kMae);
 
+      // The comm thread must be quiescent before the main thread
+      // enters collectives of its own (one collective thread per rank
+      // at a time).  In stale mode the final step's reduces just ran
+      // under eval compute; the still-unapplied results carry across
+      // the epoch boundary.
+      if (obucket) obucket->flush();
+
       const double g_train_sum = comm.allreduce_scalar_sum(train.sum);
       const double g_train_cnt =
           comm.allreduce_scalar_sum(static_cast<double>(train.batches));
@@ -254,6 +291,18 @@ DistResult DistTrainer::run() {
         em.val_mae = g_val_cnt > 0 ? g_val_sum / g_val_cnt * sigma : 0.0;
         em.wall_seconds = epoch_timer.seconds();
         curve[static_cast<std::size_t>(epoch)] = em;
+      }
+    }
+    // Close out the gradient plane: any completed-but-unapplied stale
+    // buckets never gated a step, so they classify as fully overlapped
+    // (mirroring abandon_prefetches for the data plane).
+    if (obucket) obucket->finish();
+    if (rank == 0) {
+      if (obucket) {
+        result.grad_sync_overlapped_seconds = obucket->overlapped_seconds();
+        result.grad_sync_exposed_seconds = obucket->exposed_seconds();
+      } else {
+        result.grad_sync_exposed_seconds = serial_sync_seconds;
       }
     }
     comm.barrier();

@@ -31,6 +31,9 @@ bool BatchPipeline::next(data::Batch& out) {
   return have;
 }
 
+EpochEngine::EpochEngine(nn::SeqModel& model, optim::Adam& opt)
+    : EpochEngine(model, opt, Hooks()) {}
+
 EpochEngine::EpochEngine(nn::SeqModel& model, optim::Adam& opt, Hooks hooks)
     : model_(&model), opt_(&opt), hooks_(std::move(hooks)) {}
 
@@ -61,7 +64,7 @@ EpochEngine::EpochSums EpochEngine::train_epoch(BatchPipeline& pipe, int epoch,
     std::vector<Variable> outputs = model_->forward_seq(batch.x);
     Variable loss = seq_loss(outputs, batch.y);
     opt_->zero_grad();
-    loss.backward();
+    loss.backward(hooks_.grad_observer);
     if (hooks_.sync_gradients) hooks_.sync_gradients();
     opt_->step();
     sums.sum += static_cast<double>(loss.value().item());

@@ -28,6 +28,7 @@
 #include <functional>
 #include <optional>
 
+#include "autograd/variable.h"
 #include "data/dataloader.h"
 #include "data/prefetch.h"
 #include "nn/dcrnn.h"
@@ -71,15 +72,27 @@ class BatchPipeline {
 class EpochEngine {
  public:
   struct Hooks {
-    /// Runs between backward and optimizer step (DDP gradient
-    /// averaging); absent for single-replica training.
+    /// Runs between backward and optimizer step.  For serial DDP this
+    /// IS the gradient averaging; with grad overlap it is a *drain
+    /// point* — backward already launched the bucket reduces via
+    /// grad_observer, and this hook only waits for (and applies) the
+    /// results the step needs.  Absent for single-replica training.
     std::function<void()> sync_gradients;
     /// Runs after every train step with (epoch, batches done so far);
     /// the single-process trainer samples its memory timeline here.
     std::function<void(int, std::int64_t)> on_train_step;
+    /// When set, train_epoch passes this observer to every backward()
+    /// so ready gradient buckets can start reducing mid-sweep
+    /// (dist::OverlappedGradBucket).  Pair with a draining
+    /// sync_gradients.
+    GradReadyObserver* grad_observer = nullptr;
   };
 
-  EpochEngine(nn::SeqModel& model, optim::Adam& opt, Hooks hooks = {});
+  // (Two overloads rather than one defaulted argument: GCC 12 rejects
+  // defaulting a nested aggregate that carries default member
+  // initializers from inside the enclosing class.)
+  EpochEngine(nn::SeqModel& model, optim::Adam& opt);
+  EpochEngine(nn::SeqModel& model, optim::Adam& opt, Hooks hooks);
 
   struct EpochSums {
     double sum = 0.0;  ///< accumulated loss (train) or metric (eval)

@@ -61,6 +61,15 @@ struct DistResult {
   /// equals store.modeled_seconds; with prefetch the overlapped share
   /// (store.overlapped_seconds) was hidden behind compute.
   double modeled_fetch_seconds = 0.0;
+  /// Modeled gradient-sync seconds hidden under backward's tail /
+  /// the next step's compute (rank 0's view; zero when grad_overlap
+  /// is off).
+  double grad_sync_overlapped_seconds = 0.0;
+  /// Modeled gradient-sync seconds the training loop waited for.
+  /// With grad_overlap off this is the full per-step bucket cost;
+  /// with overlap on it is strictly lower whenever the network model
+  /// charges a nonzero all-reduce cost (world > 1).
+  double grad_sync_exposed_seconds = 0.0;
   double best_val_mae = 0.0;
   std::size_t peak_host_bytes = 0;
   dist::CommStats comm;

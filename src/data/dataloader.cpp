@@ -91,25 +91,55 @@ void DataLoader::start_epoch(int epoch) {
     // Announce the epoch's full consumption order (batch by batch,
     // respecting drop_last and the max-batches cap): schedule-aware
     // caches evict around it — an entry scheduled for a nearer batch
-    // outlives already-consumed ones.
+    // outlives already-consumed ones.  The NEXT epoch's order is
+    // already a pure function of (seed, epoch + 1), so append it too:
+    // end-of-epoch residue the coming epoch will reuse then carries a
+    // future schedule position instead of looking like dead weight and
+    // being evicted at the boundary.
     schedule_ids_.clear();
-    for (std::size_t c = 0;; c += static_cast<std::size_t>(options_.batch_size)) {
-      batch_ids_at(c, lookahead_ids_);
-      if (lookahead_ids_.empty()) break;
-      schedule_ids_.insert(schedule_ids_.end(), lookahead_ids_.begin(),
-                           lookahead_ids_.end());
-    }
+    append_epoch_batches(order_, schedule_ids_);
+    append_epoch_batches(sample_epoch(range_begin_, range_end_, s, epoch + 1),
+                         schedule_ids_);
     source_->announce_schedule(schedule_ids_);
     // Kick off the first `depth` batches so they stage while the
     // caller finishes its own epoch setup.
+    int announced = 0;
     for (int j = 0; j < options_.prefetch_lookahead; ++j) {
       batch_ids_at(static_cast<std::size_t>(j) *
                        static_cast<std::size_t>(options_.batch_size),
                    lookahead_ids_);
       if (lookahead_ids_.empty()) break;
       source_->prefetch_batch(lookahead_ids_);
+      ++announced;
     }
+    announce_cursor_ = static_cast<std::size_t>(announced) *
+                       static_cast<std::size_t>(options_.batch_size);
   }
+}
+
+void DataLoader::append_epoch_batches(const std::vector<std::int64_t>& order,
+                                      std::vector<std::int64_t>& out) const {
+  std::int64_t batches = 0;
+  for (std::size_t c = 0; c < order.size();
+       c += static_cast<std::size_t>(options_.batch_size)) {
+    if (max_batches_ >= 0 && batches >= max_batches_) break;
+    const std::int64_t remaining =
+        static_cast<std::int64_t>(order.size()) - static_cast<std::int64_t>(c);
+    const std::int64_t b = std::min<std::int64_t>(options_.batch_size, remaining);
+    if (options_.drop_last && b < options_.batch_size) break;
+    out.insert(out.end(), order.begin() + static_cast<std::ptrdiff_t>(c),
+               order.begin() + static_cast<std::ptrdiff_t>(c) +
+                   static_cast<std::ptrdiff_t>(b));
+    ++batches;
+  }
+}
+
+void DataLoader::announce_next_batch() {
+  if (options_.prefetch_lookahead <= 0 || !paced_announcements_) return;
+  batch_ids_at(announce_cursor_, lookahead_ids_);
+  if (lookahead_ids_.empty()) return;
+  source_->prefetch_batch(lookahead_ids_);
+  announce_cursor_ += static_cast<std::size_t>(options_.batch_size);
 }
 
 std::int64_t DataLoader::samples_per_epoch() const {
@@ -189,15 +219,18 @@ bool DataLoader::next(Batch& out) {
 
   if (options_.prefetch_lookahead > 0) {
     // This batch was announced `depth` batches ago (or at
-    // start_epoch), and batches k+1..k+depth-1 by the batches before
-    // it; announce batch k+depth now so the source keeps `depth`
-    // batches moving in the background while this one stages and
-    // computes.  (Every non-tail batch starts at a multiple of
-    // batch_size, and past the tail the lookup is empty anyway.)
-    batch_ids_at(cursor_ + static_cast<std::size_t>(options_.prefetch_lookahead) *
-                               static_cast<std::size_t>(options_.batch_size),
-                 lookahead_ids_);
-    if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
+    // start_epoch).  Who announces batch k+depth depends on pacing:
+    // with consumer pacing (PrefetchLoader) the consumer announces it
+    // after the k-th *delivery* via announce_next_batch(); without, it
+    // is announced here at stage time.  (Every non-tail batch starts
+    // at a multiple of batch_size, and past the tail the lookup is
+    // empty anyway.)
+    if (!paced_announcements_) {
+      batch_ids_at(cursor_ + static_cast<std::size_t>(options_.prefetch_lookahead) *
+                                 static_cast<std::size_t>(options_.batch_size),
+                   lookahead_ids_);
+      if (!lookahead_ids_.empty()) source_->prefetch_batch(lookahead_ids_);
+    }
   } else {
     // Announce the whole batch before staging it: remote-backed sources
     // move the missing snapshots in one consolidated request per owner.

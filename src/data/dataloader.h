@@ -179,6 +179,27 @@ class DataLoader {
   /// nobody will consume.  Does not affect batches_per_epoch().
   void set_max_batches(std::int64_t max_batches) { max_batches_ = max_batches; }
 
+  int prefetch_lookahead() const noexcept { return options_.prefetch_lookahead; }
+
+  /// Consumer-paced announcements: when on, next() stops announcing
+  /// batch k+N at stage time — the *consumer* announces it by calling
+  /// announce_next_batch() after the k-th delivery.  Stage-time
+  /// announcing measures lookahead in *staged* batches, so a prefetch
+  /// worker running ahead of deliveries collapses every announcement
+  /// into the first compute window and the depth sweep saturates near
+  /// depth 2; delivery pacing keeps exactly N batches in flight ahead
+  /// of consumption.  PrefetchLoader turns this on for its inner
+  /// loader; synchronously driven loaders keep stage-time announcing
+  /// (there, staging IS consumption).
+  void set_paced_announcements(bool on) noexcept { paced_announcements_ = on; }
+
+  /// Announces the next not-yet-announced batch of the current epoch
+  /// (no-op when the schedule is exhausted, lookahead is 0, or pacing
+  /// is off).  Called by the prefetch consumer once per delivery; safe
+  /// concurrently with the worker staging batches, because with pacing
+  /// on the staging path never touches announcement state.
+  void announce_next_batch();
+
   std::int64_t batches_per_epoch() const;
   std::int64_t samples_per_epoch() const;
 
@@ -188,6 +209,10 @@ class DataLoader {
   /// `cursor` in this epoch's order (empty at epoch end, past the
   /// max-batches cap, or for a short tail under drop_last).
   void batch_ids_at(std::size_t cursor, std::vector<std::int64_t>& out) const;
+  /// Appends every consumable batch of `order` (respecting drop_last
+  /// and the max-batches cap, both per epoch) to `out`.
+  void append_epoch_batches(const std::vector<std::int64_t>& order,
+                            std::vector<std::int64_t>& out) const;
 
   const SnapshotSource* source_;
   LoaderOptions options_;
@@ -195,6 +220,8 @@ class DataLoader {
   std::int64_t range_end_;
   std::vector<std::int64_t> order_;
   std::size_t cursor_ = 0;
+  bool paced_announcements_ = false;
+  std::size_t announce_cursor_ = 0;  ///< next unannounced batch (paced mode)
   std::int64_t max_batches_ = -1;
   mutable std::vector<std::int64_t> lookahead_ids_;  // reusable scratch
   mutable std::vector<std::int64_t> schedule_ids_;   // reusable scratch

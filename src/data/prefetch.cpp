@@ -8,6 +8,13 @@ PrefetchLoader::PrefetchLoader(DataLoader& loader, int depth)
     : inner_(&loader),
       slots_(static_cast<std::size_t>(std::max(depth, 1) + 1)),
       slot_full_(slots_.size(), 0) {
+  if (loader.prefetch_lookahead() > 0) {
+    // The worker outruns deliveries by design, so stage-time
+    // announcing would collapse the lookahead window; pace
+    // announcements by delivery instead (one per consumed batch).
+    loader.set_paced_announcements(true);
+    paced_ = true;
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -48,6 +55,8 @@ void PrefetchLoader::start_epoch(int epoch, std::int64_t max_batches) {
   in_use_idx_ = -1;
   epoch_ = epoch;
   max_batches_ = max_batches;
+  produced_ = 0;
+  announce_budget_ = inner_->prefetch_lookahead();
   worker_error_ = nullptr;  // a restart is explicit recovery
   epoch_done_ = false;
   fill_requested_ = true;
@@ -82,6 +91,18 @@ bool PrefetchLoader::next(Batch& out) {
   out.staged_at = slot.staged_at;
   in_use_idx_ = consume_idx_;  // stays full until the next call
   consume_idx_ = advance(consume_idx_);
+  if (paced_) {
+    // Delivery k announces batch k+depth (consumer-side, so the
+    // announcement lands in batch k's compute window, not the
+    // epoch-start burst), THEN raises the worker's staging budget —
+    // in that order, so the worker can never stage an unannounced
+    // batch.
+    lock.unlock();
+    inner_->announce_next_batch();
+    lock.lock();
+    ++announce_budget_;
+    cv_.notify_all();
+  }
   return true;
 }
 
@@ -117,6 +138,25 @@ void PrefetchLoader::worker_loop() {
       inner_->set_max_batches(cap);
       inner_->start_epoch(epoch);
       for (;;) {
+        if (paced_) {
+          // Budget gate: batch k may stage only once k < depth +
+          // deliveries, i.e. once it has been announced.  Always
+          // deadlock-free at the tail: after the final delivery the
+          // budget exceeds the batch count, so the probe that
+          // discovers epoch end is always permitted.
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [this] {
+            return produced_ < announce_budget_ || abort_ || stop_;
+          });
+          if (stop_) return;
+          if (abort_) {
+            epoch_done_ = true;
+            fill_requested_ = false;
+            cv_.notify_all();
+            break;
+          }
+          ++produced_;
+        }
         const bool have = inner_->next(staged);
         std::unique_lock<std::mutex> lock(mu_);
         if (!have || abort_) {

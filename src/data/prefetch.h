@@ -75,6 +75,14 @@ class PrefetchLoader {
   int in_use_idx_ = -1;  ///< slot handed to the caller, pinned until next()
   int epoch_ = 0;
   std::int64_t max_batches_ = -1;  ///< forwarded to the inner loader (-1 = none)
+  // Consumer-paced announcements (on when the inner loader announces
+  // lookahead): the worker may stage batch k only once k < depth +
+  // deliveries, so at most `depth` announced batches are ever in
+  // flight ahead of consumption — the depth sweep stays a real sweep
+  // instead of saturating at the epoch-start announcement burst.
+  bool paced_ = false;
+  std::int64_t produced_ = 0;         ///< batches the worker has staged
+  std::int64_t announce_budget_ = 0;  ///< depth + deliveries so far
   std::exception_ptr worker_error_;  ///< inner-loader throw, rethrown in next()
 };
 

@@ -181,7 +181,11 @@ class Cluster {
   int fault_rank_ = -1;
   std::uint64_t fault_at_ = 0;
   std::string fault_message_;
-  std::vector<std::uint64_t> sync_seen_;  // per-rank, own-thread only
+  // Per-rank sync-point counter.  Only one thread per rank may sit in
+  // a collective at a time; when OverlappedGradBucket hands collectives
+  // to a comm thread, its drain/flush mutex orders the handoff, so the
+  // counter stays race-free and the fault-injection `nth` deterministic.
+  std::vector<std::uint64_t> sync_seen_;
 
   // Collective scratch state, valid between sync points.  input_buf_
   // holds every rank's staged all-reduce input so tree stages never

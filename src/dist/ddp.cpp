@@ -5,32 +5,19 @@
 #include <stdexcept>
 
 namespace pgti::dist {
-namespace {
 
-void check_layout(const std::vector<Variable>& params,
-                  const std::vector<std::int64_t>& expected_numels) {
-  if (params.size() != expected_numels.size()) {
-    throw std::invalid_argument("GradBucket: parameter list size changed");
-  }
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].value().numel() != expected_numels[i]) {
-      throw std::invalid_argument("GradBucket: parameter shape changed");
-    }
-  }
-}
-
-}  // namespace
-
-GradBucket::GradBucket(const std::vector<Variable>& params,
+GradBucket::GradBucket(std::vector<Variable>& params,
                        std::int64_t bucket_numel) {
   if (bucket_numel < 1) {
     throw std::invalid_argument("GradBucket: bucket_numel must be >= 1");
   }
   param_numels_.reserve(params.size());
   Bucket current;
-  std::int64_t max_bucket = 0;
   for (std::size_t i = 0; i < params.size(); ++i) {
     const std::int64_t n = params[i].value().numel();
+    if (!params[i].grad().is_contiguous()) {
+      throw std::invalid_argument("GradBucket: gradients must be contiguous");
+    }
     param_numels_.push_back(n);
     total_numel_ += n;
     // A parameter larger than the cap gets a bucket of its own rather
@@ -41,42 +28,68 @@ GradBucket::GradBucket(const std::vector<Variable>& params,
     }
     current.param_indices.push_back(i);
     current.numel += n;
-    max_bucket = std::max(max_bucket, current.numel);
+    max_bucket_numel_ = std::max(max_bucket_numel_, current.numel);
   }
   if (current.numel > 0 || buckets_.empty()) buckets_.push_back(std::move(current));
-  flat_.resize(static_cast<std::size_t>(max_bucket));
+  flat_.resize(static_cast<std::size_t>(max_bucket_numel_));
+}
+
+void GradBucket::verify_layout(const std::vector<Variable>& params) const {
+  if (params.size() != param_numels_.size()) {
+    throw std::invalid_argument("GradBucket: parameter list size changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].value().numel() != param_numels_[i]) {
+      throw std::invalid_argument("GradBucket: parameter shape changed");
+    }
+  }
+}
+
+void GradBucket::pack_bucket(std::size_t b, const std::vector<Variable>& params,
+                             float* dst) const {
+  std::int64_t offset = 0;
+  for (std::size_t idx : buckets_[b].param_indices) {
+    const std::int64_t n = param_numels_[idx];
+    std::memcpy(dst + offset, params[idx].grad().data(),
+                static_cast<std::size_t>(n) * sizeof(float));
+    offset += n;
+  }
+}
+
+void GradBucket::unpack_bucket(std::size_t b, std::vector<Variable>& params,
+                               const float* src) const {
+  std::int64_t offset = 0;
+  for (std::size_t idx : buckets_[b].param_indices) {
+    const std::int64_t n = param_numels_[idx];
+    // Write back unconditionally: a rank whose shard skipped a layer
+    // must still adopt its peers' averaged gradient, or replicas
+    // diverge silently.
+    std::memcpy(params[idx].grad().data(), src + offset,
+                static_cast<std::size_t>(n) * sizeof(float));
+    offset += n;
+  }
 }
 
 void GradBucket::allreduce_average(Communicator& comm,
                                    std::vector<Variable>& params) {
-  check_layout(params, param_numels_);
+  verify_layout(params);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b].numel == 0) continue;
+    pack_bucket(b, params, flat_.data());
+    comm.allreduce_mean(flat_.data(), buckets_[b].numel);
+    unpack_bucket(b, params, flat_.data());
+  }
+}
+
+double GradBucket::modeled_sync_seconds(const NetworkModel& net,
+                                        int world) const {
+  double total = 0.0;
   for (const Bucket& bucket : buckets_) {
     if (bucket.numel == 0) continue;
-    std::int64_t offset = 0;
-    for (std::size_t idx : bucket.param_indices) {
-      const std::int64_t n = param_numels_[idx];
-      float* dst = flat_.data() + offset;
-      if (params[idx].has_grad()) {
-        const Tensor grad = params[idx].grad().contiguous();
-        std::memcpy(dst, grad.data(), static_cast<std::size_t>(n) * sizeof(float));
-      } else {
-        std::fill(dst, dst + n, 0.0f);
-      }
-      offset += n;
-    }
-    comm.allreduce_mean(flat_.data(), bucket.numel);
-    offset = 0;
-    for (std::size_t idx : bucket.param_indices) {
-      const std::int64_t n = param_numels_[idx];
-      // Write back unconditionally (grad() lazily allocates zeros): a
-      // rank whose shard skipped a layer must still adopt its peers'
-      // averaged gradient, or replicas diverge silently.
-      Tensor& grad = params[idx].grad();
-      std::memcpy(grad.data(), flat_.data() + offset,
-                  static_cast<std::size_t>(n) * sizeof(float));
-      offset += n;
-    }
+    total += net.allreduce_seconds(
+        bucket.numel * static_cast<std::int64_t>(sizeof(float)), world);
   }
+  return total;
 }
 
 void allreduce_gradients(Communicator& comm, std::vector<Variable>& params) {

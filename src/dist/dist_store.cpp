@@ -169,9 +169,14 @@ DistStore::BatchPrice DistStore::price_batch(
 
 std::int64_t DistStore::future_schedule_pos_locked(const RankState& rs,
                                                    std::int64_t i) {
+  // An id may be scheduled several times (the loader announces this
+  // epoch's order followed by the next one); its eviction priority is
+  // the first occurrence that has not been consumed yet.
   const auto it = rs.schedule_pos.find(i);
-  if (it == rs.schedule_pos.end() || it->second < rs.schedule_progress) return -1;
-  return it->second;
+  if (it == rs.schedule_pos.end()) return -1;
+  const auto p = std::lower_bound(it->second.begin(), it->second.end(),
+                                  rs.schedule_progress);
+  return p == it->second.end() ? -1 : *p;
 }
 
 void DistStore::evict_over_capacity_locked(RankState& rs) {
@@ -262,11 +267,15 @@ std::pair<Tensor, Tensor> DistStore::consume_locked(RankState& rs, std::int64_t 
   CacheEntry& e = it->second;
   rs.lru.splice(rs.lru.begin(), rs.lru, e.lru_it);
   if (e.pins > 0) --e.pins;
-  // Consuming a scheduled snapshot advances the schedule cursor: every
-  // position at or before it is now in the past for eviction purposes.
+  // Consuming a scheduled snapshot advances the schedule cursor past
+  // its first unconsumed occurrence: every position at or before it is
+  // now in the past for eviction purposes (later occurrences of the
+  // same id — next epoch's reuse — stay future).
   const auto sp = rs.schedule_pos.find(i);
-  if (sp != rs.schedule_pos.end() && sp->second >= rs.schedule_progress) {
-    rs.schedule_progress = sp->second + 1;
+  if (sp != rs.schedule_pos.end()) {
+    const auto p = std::lower_bound(sp->second.begin(), sp->second.end(),
+                                    rs.schedule_progress);
+    if (p != sp->second.end()) rs.schedule_progress = *p + 1;
   }
   // Handles (shared storage) taken before the eviction pass may drop
   // the freshly unpinned entry from a zero/tiny-capacity cache.
@@ -496,11 +505,13 @@ void DistStore::abandon_prefetches(int rank) {
     (void)id;
     entry.pins = 0;
   }
-  // The truncated epoch's remaining schedule will never be consumed;
-  // drop it before evicting so stale positions don't shield residue
-  // (the next start_epoch announces a fresh schedule anyway).
-  rs.schedule_pos.clear();
-  rs.schedule_progress = 0;
+  // Keep the announced schedule across the boundary: it already
+  // extends into the next epoch (loaders announce two epochs' worth),
+  // so residue the coming epoch reuses holds a future position during
+  // this eviction pass instead of looking like dead weight.  Positions
+  // belonging to the truncated remainder of the current epoch are
+  // stale, but only transiently — the next start_epoch replaces the
+  // whole schedule — and capacity is still enforced below either way.
   evict_over_capacity_locked(rs);
 }
 
@@ -527,7 +538,9 @@ void DistStore::announce_schedule(int rank, const std::vector<std::int64_t>& ids
   rs.schedule_pos.clear();
   rs.schedule_progress = 0;
   std::int64_t pos = 0;
-  for (std::int64_t id : ids) rs.schedule_pos.emplace(id, pos++);
+  // Ids may repeat (current epoch + next epoch in one announcement);
+  // record every position, ascending by construction.
+  for (std::int64_t id : ids) rs.schedule_pos[id].push_back(pos++);
 }
 
 double DistStore::drain_modeled_seconds(int rank) {

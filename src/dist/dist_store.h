@@ -185,13 +185,18 @@ class DistStore final : public data::SnapshotProvider {
   /// truncated epoch consumed but never delivered are reconciled as
   /// fully overlapped by abandon_prefetches.
   void set_delivery_driven_classification(bool on) { delivery_driven_ = on; }
-  /// Installs `rank`'s epoch consumption order for schedule-aware
-  /// eviction (replaces any previous schedule; cleared by
-  /// abandon_prefetches).  Position in `ids` = consumption order;
-  /// eviction victims are chosen among unpinned entries preferring
-  /// ones with no remaining scheduled use, then the farthest-scheduled
-  /// (Belady fallback) — a snapshot scheduled for a nearer-future
-  /// batch is never evicted while an already-consumed one is resident.
+  /// Installs `rank`'s announced consumption order for schedule-aware
+  /// eviction (replaces any previous schedule; ids may repeat —
+  /// loaders announce the current epoch's order followed by the next
+  /// epoch's, so end-of-epoch residue the coming epoch reuses keeps a
+  /// future position across the boundary).  Position in `ids` =
+  /// consumption order; eviction victims are chosen among unpinned
+  /// entries preferring ones with no remaining scheduled use, then the
+  /// farthest-scheduled (Belady fallback) — a snapshot scheduled for a
+  /// nearer-future batch is never evicted while an already-consumed
+  /// one is resident.  The schedule survives abandon_prefetches (the
+  /// following start_epoch replaces it) so boundary eviction still
+  /// sees the next epoch's needs.
   void announce_schedule(int rank, const std::vector<std::int64_t>& ids) override;
   double drain_modeled_seconds(int rank) override;
   std::int64_t num_snapshots() const noexcept override { return num_snapshots_; }
@@ -248,11 +253,14 @@ class DistStore final : public data::SnapshotProvider {
     bool staging = false;  ///< a popped request is mid-staging
     bool stop = false;
 
-    /// Epoch schedule for schedule-aware eviction: id -> position in
-    /// the announced consumption order.  Positions below
-    /// schedule_progress have already been consumed (remote consumes
-    /// advance it); entries scheduled at or past it are still needed.
-    std::unordered_map<std::int64_t, std::int64_t> schedule_pos;
+    /// Epoch schedule for schedule-aware eviction: id -> ALL positions
+    /// (ascending) in the announced consumption order.  Loaders
+    /// announce the current epoch followed by the next one (both are
+    /// pure functions of the seed), so an id may appear several times;
+    /// only its first position at or past schedule_progress matters.
+    /// Positions below schedule_progress have already been consumed
+    /// (remote consumes advance it).
+    std::unordered_map<std::int64_t, std::vector<std::int64_t>> schedule_pos;
     std::int64_t schedule_progress = 0;
   };
 

@@ -1,0 +1,198 @@
+#include "dist/overlap.h"
+
+#include <algorithm>
+
+namespace pgti::dist {
+
+OverlappedGradBucket::OverlappedGradBucket(Communicator& comm,
+                                           std::vector<Variable>& params,
+                                           Mode mode, const NetworkModel& net,
+                                           std::int64_t bucket_numel)
+    : comm_(&comm),
+      params_(&params),
+      mode_(mode),
+      net_(net),
+      layout_(params, bucket_numel) {
+  const auto& buckets = layout_.buckets();
+  bucket_modeled_.resize(buckets.size(), 0.0);
+  pending_.assign(buckets.size(), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    bucket_modeled_[b] = net_.allreduce_seconds(
+        buckets[b].numel * static_cast<std::int64_t>(sizeof(float)),
+        comm_->world());
+    for (std::size_t idx : buckets[b].param_indices) {
+      bucket_of_.emplace(params[idx].impl().get(), b);
+    }
+    for (int parity = 0; parity < 2; ++parity) {
+      bufs_[parity].emplace_back(static_cast<std::size_t>(buckets[b].numel));
+    }
+  }
+  comm_thread_ = std::thread([this] { comm_loop(); });
+}
+
+OverlappedGradBucket::~OverlappedGradBucket() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (comm_thread_.joinable()) comm_thread_.join();
+}
+
+void OverlappedGradBucket::on_backward_start(
+    const std::vector<Variable::Impl*>& leaves) {
+  const std::int64_t step = steps_started_++;
+  const int parity = static_cast<int>(step % 2);
+
+  // Dependency counts cover only this sweep's participants; buckets
+  // whose tracked parameters all sat out are complete immediately
+  // (their grads are the zeros zero_grad() left behind — exactly what
+  // the serial path packs for them).
+  std::fill(pending_.begin(), pending_.end(), 0);
+  for (const Variable::Impl* leaf : leaves) {
+    auto it = bucket_of_.find(leaf);
+    if (it != bucket_of_.end()) ++pending_[it->second];
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // drain()/flush() guarantee the parity slot we are about to reuse
+  // finished two steps ago; reset its occupancy for this step.
+  enqueued_[parity] = 0;
+  completed_[parity] = 0;
+  for (std::size_t b = 0; b < layout_.bucket_count(); ++b) {
+    if (layout_.buckets()[b].numel == 0) continue;
+    if (pending_[b] == 0) enqueue_bucket_locked(b);
+  }
+  if (!queue_.empty()) cv_.notify_all();
+}
+
+void OverlappedGradBucket::on_grad_ready(const Variable::Impl* leaf) {
+  auto it = bucket_of_.find(leaf);
+  if (it == bucket_of_.end()) return;
+  const std::size_t b = it->second;
+  if (--pending_[b] > 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  enqueue_bucket_locked(b);
+  cv_.notify_all();
+}
+
+void OverlappedGradBucket::enqueue_bucket_locked(std::size_t b) {
+  const std::int64_t step = steps_started_ - 1;
+  const int parity = static_cast<int>(step % 2);
+  // Grads in this bucket are final for the sweep; stage them now so
+  // the comm thread never reads a tensor backward() still writes.
+  layout_.pack_bucket(b, *params_, bufs_[parity][b].data());
+  Job job;
+  job.bucket = b;
+  job.parity = parity;
+  job.step = step;
+  job.modeled_seconds = bucket_modeled_[b];
+  job.enqueued_at = Clock::now();
+  queue_.push_back(job);
+  ++enqueued_[parity];
+}
+
+void OverlappedGradBucket::comm_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    try {
+      comm_->allreduce_mean(bufs_[job.parity][job.bucket].data(),
+                            layout_.buckets()[job.bucket].numel);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = std::current_exception();
+      queue_.clear();
+      cv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.push_back(job);
+      ++completed_[job.parity];
+      cv_.notify_all();
+    }
+  }
+}
+
+void OverlappedGradBucket::wait_parity_complete(
+    std::unique_lock<std::mutex>& lock, bool both, int parity) {
+  cv_.wait(lock, [&] {
+    if (error_) return true;
+    if (both) {
+      return completed_[0] == enqueued_[0] && completed_[1] == enqueued_[1];
+    }
+    return completed_[parity] == enqueued_[parity];
+  });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void OverlappedGradBucket::classify_done_locked(std::int64_t max_step,
+                                                Clock::time_point need) {
+  auto it = done_.begin();
+  while (it != done_.end()) {
+    if (it->step > max_step) {
+      ++it;
+      continue;
+    }
+    const double window =
+        std::chrono::duration<double>(need - it->enqueued_at).count();
+    const double exposed = std::max(0.0, it->modeled_seconds - window);
+    exposed_ += exposed;
+    overlapped_ += it->modeled_seconds - exposed;
+    it = done_.erase(it);
+  }
+}
+
+void OverlappedGradBucket::drain() {
+  const std::int64_t step = steps_started_ - 1;
+  const int parity = static_cast<int>(step % 2);
+  const Clock::time_point need = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (mode_ == Mode::kStrict) {
+    wait_parity_complete(lock, /*both=*/true, parity);
+    classify_done_locked(step, need);
+    lock.unlock();
+    for (std::size_t b = 0; b < layout_.bucket_count(); ++b) {
+      if (layout_.buckets()[b].numel == 0) continue;
+      layout_.unpack_bucket(b, *params_, bufs_[parity][b].data());
+    }
+    return;
+  }
+
+  // Stale1: need step-1's results; step's own reduces keep running
+  // under the next step's compute.
+  wait_parity_complete(lock, /*both=*/false, 1 - parity);
+  classify_done_locked(step - 1, need);
+  lock.unlock();
+  if (step == 0) {
+    // No step -1 exists; apply its gradient: zero.
+    for (Variable& p : *params_) p.grad().fill_(0.0f);
+    return;
+  }
+  for (std::size_t b = 0; b < layout_.bucket_count(); ++b) {
+    if (layout_.buckets()[b].numel == 0) continue;
+    layout_.unpack_bucket(b, *params_, bufs_[1 - parity][b].data());
+  }
+}
+
+void OverlappedGradBucket::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  wait_parity_complete(lock, /*both=*/true, 0);
+}
+
+void OverlappedGradBucket::finish() {
+  flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Job& job : done_) overlapped_ += job.modeled_seconds;
+  done_.clear();
+}
+
+}  // namespace pgti::dist

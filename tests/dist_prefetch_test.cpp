@@ -511,6 +511,68 @@ TEST(ScheduleAwareEviction, NearerScheduledSnapshotOutlivesConsumedResidue) {
   EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
 }
 
+TEST(ScheduleAwareEviction, CrossEpochScheduleKeepsBoundaryResidueHot) {
+  // Boundary blindness fix: loaders announce the current epoch's order
+  // PLUS the next one's, so end-of-epoch eviction sees that a resident
+  // snapshot the coming epoch reuses has a future position — instead
+  // of treating everything consumed as dead residue and evicting by
+  // plain LRU, which at tight capacity is exactly backwards.
+  data::StandardDataset ds = tiny_dataset();
+  const auto touch = [](dist::DistStore& store, std::int64_t id) {
+    store.fetch_batch(0, {id});
+    store.fetch(0, id);
+  };
+
+  // Cross-epoch announcement [n, r, x | n]: epoch 1 consumes n then r,
+  // and staging x (pinned, never consumed — the truncated tail)
+  // overflows capacity 2.  n carries a future position from the next
+  // epoch's head, so the victim must be r.
+  {
+    dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                          /*cache_snapshots_per_rank=*/2);
+    const auto [lo1, hi1] = store.partition(1);
+    ASSERT_GE(hi1 - lo1, 3);
+    const std::int64_t n = lo1, r = lo1 + 1, x = lo1 + 2;
+    const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+    store.announce_schedule(0, {n, r, x, n});
+    touch(store, n);
+    touch(store, r);
+    store.fetch_batch(0, {x});  // boundary eviction: r out, n protected
+    EXPECT_EQ(store.stats().cache_evictions, 1u);
+    store.abandon_prefetches(0);  // schedule survives the boundary
+    store.announce_schedule(0, {n});  // epoch 2 re-announces as usual
+    touch(store, n);
+    const dist::StoreStats st = store.stats();
+    EXPECT_EQ(st.cache_hits, 1u)
+        << "n must still be resident across the epoch boundary";
+    EXPECT_EQ(st.bytes_copied, 3u * sb) << "n, r, x copied exactly once each";
+    EXPECT_EQ(st.remote_bytes, st.bytes_copied + st.cache_hit_bytes);
+  }
+
+  // Control: the same traffic with an epoch-local announcement.  By
+  // eviction time everything consumed is residue, LRU picks the oldest
+  // — n — and the boundary reuse pays a second copy.
+  {
+    dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
+                          /*cache_snapshots_per_rank=*/2);
+    const auto [lo1, hi1] = store.partition(1);
+    const std::int64_t n = lo1, r = lo1 + 1, x = lo1 + 2;
+    (void)r;
+    const std::uint64_t sb = static_cast<std::uint64_t>(store.snapshot_bytes());
+    store.announce_schedule(0, {n, r, x});
+    touch(store, n);
+    touch(store, r);
+    store.fetch_batch(0, {x});
+    EXPECT_EQ(store.stats().cache_evictions, 1u);
+    store.abandon_prefetches(0);
+    store.announce_schedule(0, {n});
+    touch(store, n);
+    const dist::StoreStats st = store.stats();
+    EXPECT_EQ(st.cache_hits, 0u) << "epoch-local schedule loses n at the boundary";
+    EXPECT_EQ(st.bytes_copied, 4u * sb) << "n copied twice";
+  }
+}
+
 TEST(ScheduleAwareEviction, WithoutScheduleEvictionDegradesToPlainLru) {
   data::StandardDataset ds = tiny_dataset();
   dist::DistStore store(ds, 4, dist::NetworkModel{}, /*consolidate=*/true,
