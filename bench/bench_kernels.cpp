@@ -4,10 +4,21 @@
 //   * batch assembly cost
 //   * consolidated vs per-item remote fetch requests (baseline DDP opt)
 //   * gradient bucketing vs per-tensor all-reduce
-//   * core compute kernels (matmul / SpMM)
+//   * core compute kernels (matmul / SpMM / fused DCGRU step) — each
+//     with its retained pre-optimization `_reference` baseline, plus an
+//     in-run before/after claims section (custom main below) so the
+//     speedup and bit-exactness claims are measured in the same binary
+//     and counted by scripts/run_benches.sh.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/pgt_i.h"
+#include "nn/dcgru.h"
 #include "tensor/tensor_ops.h"
 
 using namespace pgti;
@@ -143,6 +154,19 @@ BENCHMARK(BM_AllreducePerTensor)->Unit(benchmark::kMillisecond);
 
 // --- compute kernels ----------------------------------------------------------
 
+// Adds GFLOP/s and bytes-moved rate counters for a dense [n,n]x[n,n]
+// matmul: 2n^3 flops, 3 n^2-float arrays touched per product.
+void set_matmul_counters(benchmark::State& state, std::int64_t n) {
+  const double per_iter_flops = 2.0 * static_cast<double>(n) * n * n;
+  const double per_iter_bytes = 3.0 * static_cast<double>(n) * n * sizeof(float);
+  state.counters["GFLOPs"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * per_iter_flops * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_moved"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * per_iter_bytes,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   Rng rng(1);
@@ -153,44 +177,229 @@ void BM_Matmul(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_matmul_counters(state, n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_SpmmBatched(benchmark::State& state) {
-  const std::int64_t n = 256;
+// Pre-optimization naive triple loop, kept callable for the in-run
+// before/after ratio (and as the bit-exactness oracle).
+void BM_MatmulReference(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul_reference(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_matmul_counters(state, n);
+}
+BENCHMARK(BM_MatmulReference)->Arg(64)->Arg(128)->Arg(256);
+
+Csr bench_support(std::int64_t n) {
   SensorNetworkOptions opt;
   opt.num_nodes = n;
   SensorNetwork net = build_sensor_network(opt);
-  Csr p = net.adjacency.row_normalized();
+  return net.adjacency.row_normalized();
+}
+
+// Bytes a batched SpMM actually moves: per batch item, the gathered
+// values+indices and the dense input/output rows.
+double spmm_bytes(const Csr& p, std::int64_t b, std::int64_t c) {
+  const double gather = static_cast<double>(p.nnz()) *
+                        (sizeof(float) + sizeof(std::int64_t) + c * sizeof(float));
+  const double dense = static_cast<double>(p.rows() + p.cols()) * c * sizeof(float);
+  return static_cast<double>(b) * (gather + dense);
+}
+
+void BM_SpmmBatched(benchmark::State& state) {
+  Csr p = bench_support(256);
   Rng rng(2);
-  Tensor x = Tensor::randn({8, n, 32}, rng);
+  Tensor x = Tensor::randn({8, 256, 32}, rng);
   for (auto _ : state) {
     Tensor y = p.spmm_batched(x);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 8 * p.nnz() * 32);
+  state.counters["bytes_moved"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * spmm_bytes(p, 8, 32),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SpmmBatched);
 
-void BM_DcgruForwardBackward(benchmark::State& state) {
-  data::DatasetSpec spec = bench_spec();
+// Pre-optimization batched kernel: parallel over the batch dim only.
+void BM_SpmmBatchedReference(benchmark::State& state) {
+  Csr p = bench_support(256);
+  Rng rng(2);
+  Tensor x = Tensor::randn({8, 256, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = p.spmm_batched_reference(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * p.nnz() * 32);
+  state.counters["bytes_moved"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * spmm_bytes(p, 8, 32),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpmmBatchedReference);
+
+// Fused SpMM epilogue vs SpMM + bias pass + activation pass.
+void BM_SpmmBiasAct(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  Csr p = bench_support(256);
+  Rng rng(2);
+  Tensor x = Tensor::randn({8, 256, 32}, rng);
+  Tensor bias = Tensor::randn({32}, rng);
+  for (auto _ : state) {
+    if (fused) {
+      Tensor y = p.spmm_bias_act(x, bias, ops::Act::kTanh);
+      benchmark::DoNotOptimize(y.data());
+    } else {
+      Tensor y = ops::add_bias(p.spmm_batched(x), bias);
+      ops::apply_act_(y, ops::Act::kTanh);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+}
+BENCHMARK(BM_SpmmBiasAct)->Arg(0)->Arg(1);
+
+void dcgru_step(core::ModelBundle& bundle, const Tensor& x, const Tensor& y) {
+  auto outs = bundle.model->forward_seq(x);
+  Variable loss = core::seq_loss(outs, y);
+  bundle.model->zero_grad();
+  loss.backward();
+  benchmark::DoNotOptimize(loss.value().item());
+}
+
+// DCGRU training-step spec sized so the gate/candidate matmuls and
+// diffusion SpMMs dominate (nodes ~40, hidden 64, K=2) — the regime
+// the full-size runs live in, rather than tape-overhead noise.
+data::DatasetSpec dcgru_bench_spec() {
+  data::DatasetSpec spec = data::spec_for(data::DatasetKind::kPemsBay).scaled(8);
   spec.horizon = 6;
+  return spec;
+}
+
+void BM_DcgruForwardBackward(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  data::DatasetSpec spec = dcgru_bench_spec();
   SensorNetwork net = data::network_for(spec);
-  auto bundle = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 16, 1, 1, 3);
+  auto bundle = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 64, 2, 1, 3);
   Rng rng(4);
   Tensor x = Tensor::randn({8, 6, spec.nodes, spec.features}, rng);
   Tensor y = Tensor::randn({8, 6, spec.nodes, 1}, rng);
-  for (auto _ : state) {
-    auto outs = bundle.model->forward_seq(x);
-    Variable loss = core::seq_loss(outs, y);
-    bundle.model->zero_grad();
-    loss.backward();
-    benchmark::DoNotOptimize(loss.value().item());
-  }
+  nn::set_gru_fusion_enabled(fused);
+  for (auto _ : state) dcgru_step(bundle, x, y);
+  nn::set_gru_fusion_enabled(true);
   state.SetItemsProcessed(state.iterations() * 8);
 }
-BENCHMARK(BM_DcgruForwardBackward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DcgruForwardBackward)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// --- in-run before/after claims (DESIGN.md §14) ---------------------------
+
+// Per-call wall time of fn(): batches calls into >= ~30 ms samples so
+// sub-millisecond kernels aren't at the mercy of scheduler noise, and
+// takes the best sample (the least-interfered-with run).
+template <typename Fn>
+double time_of(Fn&& fn, int samples = 5) {
+  const auto once = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  once();  // warm
+  const double probe = std::max(once(), 1e-9);
+  const int inner = static_cast<int>(std::min(1000.0, std::max(1.0, 0.03 / probe)));
+  double best = 1e100;
+  for (int s = 0; s < samples; ++s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < inner; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count() / inner);
+  }
+  return best;
+}
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.contiguous().data(), b.contiguous().data(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+void run_kernel_claims() {
+  bench::header("Fused/blocked kernel speedups (before vs after, this binary)",
+                "DESIGN.md §14 hot-path optimization; determinism invariant intact");
+
+  {
+    const std::int64_t n = 256;
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    const double t_blocked = time_of([&] { benchmark::DoNotOptimize(ops::matmul(a, b).data()); });
+    const double t_naive =
+        time_of([&] { benchmark::DoNotOptimize(ops::matmul_reference(a, b).data()); });
+    const double ratio = t_naive / t_blocked;
+    std::printf("matmul n=256: blocked %.3f ms, naive reference %.3f ms, ratio %.2fx\n",
+                t_blocked * 1e3, t_naive * 1e3, ratio);
+    bench::verdict(ratio >= 2.0, "register-blocked matmul >= 2x over naive at n=256");
+    bench::verdict(same_bits(ops::matmul(a, b), ops::matmul_reference(a, b)),
+                   "blocked matmul bit-identical to naive reference");
+  }
+
+  {
+    Csr p = bench_support(256);
+    Rng rng(2);
+    Tensor x = Tensor::randn({8, 256, 32}, rng);
+    const double t_coll = time_of([&] { benchmark::DoNotOptimize(p.spmm_batched(x).data()); });
+    const double t_ref =
+        time_of([&] { benchmark::DoNotOptimize(p.spmm_batched_reference(x).data()); });
+    std::printf("spmm_batched B=8 n=256 c=32: collapsed %.1f us, batch-parallel %.1f us\n",
+                t_coll * 1e6, t_ref * 1e6);
+    bench::verdict(t_coll <= t_ref * 1.10,
+                   "collapsed (batch x row-block) SpMM no slower than batch-only kernel");
+    bench::verdict(same_bits(p.spmm_batched(x), p.spmm_batched_reference(x)),
+                   "collapsed SpMM bit-identical to batch-only reference");
+  }
+
+  {
+    data::DatasetSpec spec = dcgru_bench_spec();
+    SensorNetwork net = data::network_for(spec);
+    auto bundle = core::make_model(core::ModelKind::kPgtDcrnn, spec, net, 64, 2, 1, 3);
+    Rng rng(4);
+    Tensor x = Tensor::randn({8, 6, spec.nodes, spec.features}, rng);
+    Tensor y = Tensor::randn({8, 6, spec.nodes, 1}, rng);
+    auto loss_of = [&] {
+      auto outs = bundle.model->forward_seq(x);
+      Variable loss = core::seq_loss(outs, y);
+      bundle.model->zero_grad();
+      loss.backward();
+      return loss.value().clone();
+    };
+    nn::set_gru_fusion_enabled(true);
+    const double t_fused = time_of([&] { loss_of(); });
+    const Tensor loss_fused = loss_of();
+    nn::set_gru_fusion_enabled(false);
+    const double t_ref = time_of([&] { loss_of(); });
+    const Tensor loss_ref = loss_of();
+    nn::set_gru_fusion_enabled(true);
+    const double ratio = t_ref / t_fused;
+    std::printf("DCGRU fwd+bwd B=8 T=6: fused %.2f ms, unfused reference %.2f ms, ratio %.2fx\n",
+                t_fused * 1e3, t_ref * 1e3, ratio);
+    bench::verdict(ratio >= 1.3,
+                   "fused gate/matmul/SpMM kernels >= 1.3x on DCGRU forward+backward");
+    bench::verdict(same_bits(loss_fused, loss_ref),
+                   "DCGRU training loss bit-identical with fusion on vs off");
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  run_kernel_claims();
+  return 0;
+}

@@ -14,10 +14,12 @@
 #                  dist_determinism_test, dist_prefetch_test (async
 #                  staging pipeline + PrefetchLoader abort/restart
 #                  stress), epoch_engine_test (the shared
-#                  Trainer/DistTrainer pipeline at depth N), and
+#                  Trainer/DistTrainer pipeline at depth N),
 #                  grad_overlap_test (per-rank comm threads firing
 #                  ready-bucket all-reduces under backward, including
-#                  the mid-backward fault-injection sweep).
+#                  the mid-backward fault-injection sweep), and
+#                  kernel_fusion_test (the threaded blocked/fused
+#                  kernels and their parallel_for partitioning).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,9 +39,9 @@ if [ -n "${sanitize}" ]; then
        exit 1 ;;
   esac
   echo
-  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap suites) in ${san_dir} =="
+  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap + kernel_fusion suites) in ${san_dir} =="
   cmake -B "${san_dir}" -S "${repo_root}" -DPGTI_SANITIZE="${sanitize}" -DPGTI_WERROR=ON
   cmake --build "${san_dir}" -j "${jobs}"
   ctest --test-dir "${san_dir}" --output-on-failure -j "${jobs}" -L tier1 \
-        -R '^(dist_|epoch_engine|grad_overlap)'
+        -R '^(dist_|epoch_engine|grad_overlap|kernel_fusion)'
 fi

@@ -20,6 +20,48 @@ namespace {
 using Impl = Variable::Impl;
 using ImplPtr = std::shared_ptr<Variable::Impl>;
 
+// Direct-accumulation access to a parent's gradient buffer: returns
+// nullptr when the parent doesn't participate, otherwise the (zeroed on
+// first use) grad data.  Writing `+=` through this pointer is the
+// alloc-free equivalent of Variable::accumulate(impl, delta) — the
+// whole contribution must still land before backward_fn returns (the
+// contract at the top of this file).
+float* grad_data(const ImplPtr& impl) {
+  if (!impl || !impl->needs_grad) return nullptr;
+  if (!impl->grad.defined()) {
+    impl->grad = Tensor::zeros(impl->value.shape(), impl->value.space());
+  }
+  return impl->grad.data();
+}
+
+// dz = g ⊙ act'(y) evaluated from the saved output y, with the exact
+// per-element expressions of the unfused sigmoid/tanh/relu backwards
+// (so fused gradients match the reference composition bit-for-bit).
+// Identity aliases g — no copy.
+Tensor act_backward(const Tensor& g, const Tensor& y, ops::Act act) {
+  if (act == ops::Act::kIdentity) return g;
+  Tensor dz = Tensor::empty(y.shape(), y.space());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* pd = dz.data();
+  parallel_for(0, y.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
+    switch (act) {
+      case ops::Act::kSigmoid:
+        for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+        break;
+      case ops::Act::kTanh:
+        for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+        break;
+      case ops::Act::kRelu:
+        for (std::int64_t i = lo; i < hi; ++i) pd[i] = py[i] > 0.0f ? pg[i] : 0.0f;
+        break;
+      case ops::Act::kIdentity:
+        break;
+    }
+  });
+  return dz;
+}
+
 }  // namespace
 
 Variable add(const Variable& a, const Variable& b) {
@@ -98,6 +140,19 @@ Variable matmul(const Variable& a, const Variable& b) {
   });
 }
 
+Variable matmul_reference(const Variable& a, const Variable& b) {
+  ImplPtr ia = a.impl(), ib = b.impl();
+  Tensor va = a.value(), vb = b.value();
+  // Backward uses the retained pre-optimization tn/nt kernels so the
+  // reference path's training-step cost is the honest "before" for the
+  // in-run bench ratio; their bits match the blocked kernels exactly.
+  return Variable::make_node(ops::matmul_reference(va, vb), {a, b},
+                             [ia, ib, va, vb](Impl& node) {
+                               Variable::accumulate(ia, ops::matmul_nt_reference(node.grad, vb));
+                               Variable::accumulate(ib, ops::matmul_tn_reference(va, node.grad));
+                             });
+}
+
 Variable spmm(const Csr& p, const Csr& p_transpose, const Variable& x) {
   ImplPtr ix = x.impl();
   const bool batched = x.value().dim() == 3;
@@ -111,19 +166,129 @@ Variable spmm(const Csr& p, const Csr& p_transpose, const Variable& x) {
   });
 }
 
+Variable matmul_bias_act(const Variable& a, const Variable& w, const Variable& bias,
+                         ops::Act act) {
+  ImplPtr ia = a.impl(), iw = w.impl(), ib = bias.impl();
+  Tensor va = a.value(), vw = w.value();
+  Tensor y = ops::matmul_bias_act(va, vw, bias.value(), act);
+  return Variable::make_node(y, {a, w, bias}, [ia, iw, ib, va, vw, y, act](Impl& node) {
+    Tensor dz = act_backward(node.grad, y, act);
+    Variable::accumulate(ia, ops::matmul_nt(dz, vw));
+    Variable::accumulate(iw, ops::matmul_tn(va, dz));
+    Variable::accumulate(ib, ops::colsum(dz));
+  });
+}
+
+Variable spmm_bias_act(const Csr& p, const Csr& p_transpose, const Variable& x,
+                       const Variable& bias, ops::Act act) {
+  ImplPtr ix = x.impl(), ib = bias.impl();
+  const bool batched = x.value().dim() == 3;
+  Tensor y = p.spmm_bias_act(x.value(), bias.value(), act);
+  Csr pt = p_transpose;
+  return Variable::make_node(y, {x, bias}, [ix, ib, y, pt, batched, act](Impl& node) {
+    Tensor dz = act_backward(node.grad, y, act);
+    Variable::accumulate(ix, batched ? pt.spmm_batched(dz) : pt.spmm(dz));
+    Variable::accumulate(ib, ops::colsum(dz));
+  });
+}
+
+std::pair<Variable, Variable> gru_gates(const Variable& pre, const Variable& h) {
+  const Tensor& vh = h.value();
+  Tensor r = Tensor::empty(vh.shape(), vh.space());
+  Tensor u = Tensor::empty(vh.shape(), vh.space());
+  Tensor rh = Tensor::empty(vh.shape(), vh.space());
+  ops::gru_gates(pre.value(), vh, r, u, rh);
+  const std::int64_t hidden = vh.size(-1);
+  ImplPtr ipre = pre.impl(), ih = h.impl();
+  Tensor vhc = vh.contiguous();
+  // Two nodes over one kernel pass.  Both write disjoint column halves
+  // of pre's gradient directly, so neither allocates a [.., 2H] delta;
+  // the expressions match the unfused mul/slice/sigmoid backward chain
+  // element for element.
+  Variable rh_var = Variable::make_node(
+      rh, {pre, h}, [ipre, ih, r, vhc, hidden](Impl& node) {
+        const std::int64_t rows = r.numel() / hidden;
+        const float* pg = node.grad.data();
+        const float* pr = r.data();
+        const float* ph = vhc.data();
+        float* gh = grad_data(ih);
+        float* gp = grad_data(ipre);
+        parallel_for(0, rows, std::max<std::int64_t>(1, 16384 / hidden),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         const std::int64_t off = i * hidden;
+                         float* gprow = gp == nullptr ? nullptr : gp + i * 2 * hidden;
+                         for (std::int64_t j = 0; j < hidden; ++j) {
+                           const float g = pg[off + j];
+                           if (gh != nullptr) gh[off + j] += g * pr[off + j];
+                           if (gprow != nullptr) {
+                             // d(pre_r) = ((g*h) * r) * (1-r), the sliced
+                             // sigmoid backward of the reference chain.
+                             gprow[j] += g * ph[off + j] * pr[off + j] *
+                                         (1.0f - pr[off + j]);
+                           }
+                         }
+                       }
+                     });
+      });
+  Variable u_var = Variable::make_node(u, {pre}, [ipre, u, hidden](Impl& node) {
+    const std::int64_t rows = u.numel() / hidden;
+    const float* pg = node.grad.data();
+    const float* pu = u.data();
+    float* gp = grad_data(ipre);
+    if (gp == nullptr) return;
+    parallel_for(0, rows, std::max<std::int64_t>(1, 16384 / hidden),
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i) {
+                     const std::int64_t off = i * hidden;
+                     float* gprow = gp + i * 2 * hidden + hidden;
+                     for (std::int64_t j = 0; j < hidden; ++j) {
+                       gprow[j] += pg[off + j] * pu[off + j] * (1.0f - pu[off + j]);
+                     }
+                   }
+                 });
+  });
+  return {rh_var, u_var};
+}
+
+Variable gru_state(const Variable& c, const Variable& u, const Variable& h) {
+  ImplPtr ic = c.impl(), iu = u.impl(), ih = h.impl();
+  Tensor vc = c.value().contiguous(), vu = u.value().contiguous(),
+         vhc = h.value().contiguous();
+  Tensor y = ops::gru_state(vc, vu, vhc);
+  return Variable::make_node(y, {c, u, h}, [ic, iu, ih, vc, vu, vhc](Impl& node) {
+    const float* pg = node.grad.data();
+    const float* pc = vc.data();
+    const float* pu = vu.data();
+    const float* ph = vhc.data();
+    float* gc = grad_data(ic);
+    float* gu = grad_data(iu);
+    float* gh = grad_data(ih);
+    parallel_for(0, vc.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const float g = pg[i];
+        // d_c = g + (-(g*u)): the add-then-negated-sub accumulation of
+        // the unfused c + u*(h-c) chain, in its tape order.
+        if (gc != nullptr) gc[i] += g + (-(g * pu[i]));
+        if (gu != nullptr) gu[i] += g * (ph[i] - pc[i]);
+        if (gh != nullptr) gh[i] += g * pu[i];
+      }
+    });
+  });
+}
+
 Variable sigmoid(const Variable& a) {
   ImplPtr ia = a.impl();
   Tensor y = ops::sigmoid(a.value());
   return Variable::make_node(y, {a}, [ia, y](Impl& node) {
-    // dx = g * y * (1 - y)
-    Tensor dx = Tensor::empty(y.shape(), y.space());
+    // dx = g * y * (1 - y), accumulated in place — no dx temporary.
+    float* pd = grad_data(ia);
+    if (pd == nullptr) return;
     const float* py = y.data();
     const float* pg = node.grad.data();
-    float* pd = dx.data();
     parallel_for(0, y.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] += pg[i] * py[i] * (1.0f - py[i]);
     });
-    Variable::accumulate(ia, dx);
   });
 }
 
@@ -131,14 +296,13 @@ Variable tanh(const Variable& a) {
   ImplPtr ia = a.impl();
   Tensor y = ops::tanh(a.value());
   return Variable::make_node(y, {a}, [ia, y](Impl& node) {
-    Tensor dx = Tensor::empty(y.shape(), y.space());
+    float* pd = grad_data(ia);
+    if (pd == nullptr) return;
     const float* py = y.data();
     const float* pg = node.grad.data();
-    float* pd = dx.data();
     parallel_for(0, y.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] += pg[i] * (1.0f - py[i] * py[i]);
     });
-    Variable::accumulate(ia, dx);
   });
 }
 
@@ -146,14 +310,13 @@ Variable relu(const Variable& a) {
   ImplPtr ia = a.impl();
   Tensor y = ops::relu(a.value());
   return Variable::make_node(y, {a}, [ia, y](Impl& node) {
-    Tensor dx = Tensor::empty(y.shape(), y.space());
+    float* pd = grad_data(ia);
+    if (pd == nullptr) return;
     const float* py = y.data();
     const float* pg = node.grad.data();
-    float* pd = dx.data();
     parallel_for(0, y.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) pd[i] = py[i] > 0.0f ? pg[i] : 0.0f;
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] += py[i] > 0.0f ? pg[i] : 0.0f;
     });
-    Variable::accumulate(ia, dx);
   });
 }
 
@@ -240,11 +403,12 @@ Variable softmax_lastdim(const Variable& a) {
   ImplPtr ia = a.impl();
   Tensor y = ops::softmax_lastdim(a.value());
   return Variable::make_node(y, {a}, [ia, y](Impl& node) {
-    // dx = y * (g - rowsum(g * y))
+    // dx = y * (g - rowsum(g * y)); gy doubles as the dx buffer once
+    // its rowsum is taken.
     Tensor gy = ops::mul(node.grad, y);
     Tensor s = ops::rowsum(gy);
-    Tensor dx = ops::sub(ops::mul(y, node.grad), ops::mul_colvec(y, s));
-    Variable::accumulate(ia, dx);
+    ops::sub_into(gy, ops::mul_colvec(y, s), gy);
+    Variable::accumulate(ia, gy);
   });
 }
 
@@ -393,7 +557,8 @@ Variable batched_attention(const Variable& q, const Variable& k, const Variable&
           Tensor da = ops::matmul_nt(go, vb.contiguous());
           // dS = A * (dA - rowsum(dA * A))
           Tensor s_row = ops::rowsum(ops::mul(da, a));
-          Tensor ds = ops::sub(ops::mul(a, da), ops::mul_colvec(a, s_row));
+          Tensor ds = ops::mul(a, da);
+          ops::sub_into(ds, ops::mul_colvec(a, s_row), ds);
           ops::scale_(ds, scale);
           dq.slice(0, b * tokens, tokens).copy_from(ops::matmul(ds, kb.contiguous()));
           dk.slice(0, b * tokens, tokens)

@@ -5,10 +5,12 @@
 // finite-difference tests (tests/autograd_test.cpp).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "graph/csr.h"
+#include "tensor/tensor_ops.h"
 
 namespace pgti::ag {
 
@@ -28,9 +30,34 @@ Variable mul_colvec(const Variable& m, const Variable& col);
 // --- linear algebra ----------------------------------------------------
 /// [M,K] x [K,N] -> [M,N]
 Variable matmul(const Variable& a, const Variable& b);
+/// Same op with the retained naive forward kernel
+/// (ops::matmul_reference); the pre-optimization baseline that parity
+/// tests and in-run before/after benches compare against.
+Variable matmul_reference(const Variable& a, const Variable& b);
 /// Sparse graph propagation: y = P x for x [N,C] or [B,N,C].
 /// `p_transpose` must be P^T (used for the input gradient).
 Variable spmm(const Csr& p, const Csr& p_transpose, const Variable& x);
+
+// --- fused ops (DESIGN.md §14) -----------------------------------------
+// Forward runs the bias add and activation in the producing kernel's
+// store epilogue; backward applies the activation derivative once and
+// feeds the matmul/SpMM/colsum gradients directly.  Values and
+// gradients are bit-identical to the unfused composition
+// act(add_bias(matmul(a, w), bias)) etc.
+/// act(a * w + bias) in one node.
+Variable matmul_bias_act(const Variable& a, const Variable& w, const Variable& bias,
+                         ops::Act act);
+/// act(P x + bias) in one node, x [N,C] or [B,N,C], bias [C].
+Variable spmm_bias_act(const Csr& p, const Csr& p_transpose, const Variable& x,
+                       const Variable& bias, ops::Act act);
+/// Fused DCGRU gate block over pre [.., 2H] and hidden state h [.., H]:
+/// r = sigmoid(pre[.., :H]), u = sigmoid(pre[.., H:]), returns
+/// {r*h, u} as two nodes.  Replaces sigmoid + two slices + mul (four
+/// tape nodes, four materialized tensors) with one kernel pass.
+std::pair<Variable, Variable> gru_gates(const Variable& pre, const Variable& h);
+/// c + u*(h - c) in one node (the GRU state update) without the
+/// sub/mul/add temporaries.
+Variable gru_state(const Variable& c, const Variable& u, const Variable& h);
 
 // --- activations -------------------------------------------------------
 Variable sigmoid(const Variable& a);

@@ -6,6 +6,15 @@
 #include "runtime/thread_pool.h"
 
 namespace pgti {
+namespace {
+
+// Row-block width for the collapsed (batch x row-block) SpMM space:
+// each task owns every output row it touches, so blocks are
+// independent and the per-row accumulation order never depends on the
+// task schedule.
+constexpr std::int64_t kSpmmRowBlock = 64;
+
+}  // namespace
 
 Csr Csr::from_coo(std::int64_t rows, std::int64_t cols, std::vector<CooEntry> entries) {
   for (const CooEntry& e : entries) {
@@ -49,25 +58,45 @@ Csr Csr::identity(std::int64_t n) {
 }
 
 Csr Csr::transpose() const {
-  std::vector<CooEntry> entries;
-  entries.reserve(static_cast<std::size_t>(nnz()));
+  // Two-pass counting transpose: histogram the column indices, prefix-
+  // sum into the transposed row_ptr, then scatter with per-row cursors.
+  // Walking this matrix row-major emits each transposed row's entries
+  // in ascending column (= our row) order, so the output is the same
+  // canonical sorted CSR the old from_coo round-trip produced — without
+  // the O(nnz log nnz) sort.
+  Csr out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  const std::size_t n = values_.size();
+  out.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  out.col_idx_.resize(n);
+  out.values_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ++out.row_ptr_[static_cast<std::size_t>(col_idx_[k]) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(cols_); ++c) {
+    out.row_ptr_[c + 1] += out.row_ptr_[c];
+  }
+  std::vector<std::int64_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
   for (std::int64_t r = 0; r < rows_; ++r) {
     for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
          k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      entries.push_back(CooEntry{col_idx_[static_cast<std::size_t>(k)], r,
-                                 values_[static_cast<std::size_t>(k)]});
+      const std::int64_t c = col_idx_[static_cast<std::size_t>(k)];
+      const std::int64_t dst = cursor[static_cast<std::size_t>(c)]++;
+      out.col_idx_[static_cast<std::size_t>(dst)] = r;
+      out.values_[static_cast<std::size_t>(dst)] = values_[static_cast<std::size_t>(k)];
     }
   }
-  return from_coo(cols_, rows_, std::move(entries));
+  return out;
 }
 
 std::vector<float> Csr::row_sums() const {
+  // Single flat pass over values_; the row boundary walks forward with k.
   std::vector<float> sums(static_cast<std::size_t>(rows_), 0.0f);
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      sums[static_cast<std::size_t>(r)] += values_[static_cast<std::size_t>(k)];
-    }
+  std::size_t r = 0;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    while (static_cast<std::int64_t>(k) >= row_ptr_[r + 1]) ++r;
+    sums[r] += values_[k];
   }
   return sums;
 }
@@ -75,14 +104,11 @@ std::vector<float> Csr::row_sums() const {
 Csr Csr::row_normalized() const {
   const std::vector<float> sums = row_sums();
   Csr out = *this;
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    const float s = sums[static_cast<std::size_t>(r)];
-    if (s == 0.0f) continue;
-    const float inv = 1.0f / s;
-    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      out.values_[static_cast<std::size_t>(k)] *= inv;
-    }
+  std::size_t r = 0;
+  for (std::size_t k = 0; k < out.values_.size(); ++k) {
+    while (static_cast<std::int64_t>(k) >= row_ptr_[r + 1]) ++r;
+    const float s = sums[r];
+    if (s != 0.0f) out.values_[k] *= 1.0f / s;
   }
   return out;
 }
@@ -99,8 +125,9 @@ Tensor Csr::to_dense() const {
   return d;
 }
 
-void Csr::spmm_into(const float* x, float* y, std::int64_t c) const {
-  for (std::int64_t r = 0; r < rows_; ++r) {
+void Csr::spmm_rows(const float* x, float* y, std::int64_t c, std::int64_t r_lo,
+                    std::int64_t r_hi, const float* bias, ops::Act act) const {
+  for (std::int64_t r = r_lo; r < r_hi; ++r) {
     float* yrow = y + r * c;
     std::fill(yrow, yrow + c, 0.0f);
     for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
@@ -109,37 +136,83 @@ void Csr::spmm_into(const float* x, float* y, std::int64_t c) const {
       const float* xrow = x + col_idx_[static_cast<std::size_t>(k)] * c;
       for (std::int64_t j = 0; j < c; ++j) yrow[j] += v * xrow[j];
     }
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < c; ++j) yrow[j] = ops::act_apply(act, yrow[j] + bias[j]);
+    } else if (act != ops::Act::kIdentity) {
+      for (std::int64_t j = 0; j < c; ++j) yrow[j] = ops::act_apply(act, yrow[j]);
+    }
   }
 }
 
-Tensor Csr::spmm(const Tensor& x) const {
-  if (x.dim() != 2 || x.size(0) != cols_) {
-    throw std::invalid_argument("Csr::spmm: x must be [cols, C]");
+void Csr::spmm_into(const float* x, float* y, std::int64_t c) const {
+  spmm_rows(x, y, c, 0, rows_, nullptr, ops::Act::kIdentity);
+}
+
+Tensor Csr::spmm_impl(const Tensor& x, const float* bias, ops::Act act,
+                      const char* what) const {
+  if (x.dim() == 2) {
+    if (x.size(0) != cols_) {
+      throw std::invalid_argument(std::string(what) + ": x must be [cols, C]");
+    }
+    const Tensor xc = x.contiguous();
+    const std::int64_t c = x.size(1);
+    Tensor y = Tensor::empty({rows_, c}, x.space());
+    const float* px = xc.data();
+    float* py = y.data();
+    parallel_for(0, rows_, kSpmmRowBlock, [&](std::int64_t lo, std::int64_t hi) {
+      spmm_rows(px, py, c, lo, hi, bias, act);
+    });
+    return y;
+  }
+  if (x.dim() != 3 || x.size(1) != cols_) {
+    throw std::invalid_argument(std::string(what) + ": x must be [B, cols, C]");
   }
   const Tensor xc = x.contiguous();
-  Tensor y = Tensor::empty({rows_, x.size(1)}, x.space());
-  const std::int64_t c = x.size(1);
+  const std::int64_t b = x.size(0);
+  const std::int64_t c = x.size(2);
+  Tensor y = Tensor::empty({b, rows_, c}, x.space());
   const float* px = xc.data();
   float* py = y.data();
-  // Parallelize over row blocks: rows are independent.
-  parallel_for(0, rows_, 64, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t r = lo; r < hi; ++r) {
-      float* yrow = py + r * c;
-      std::fill(yrow, yrow + c, 0.0f);
-      for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-        const float v = values_[static_cast<std::size_t>(k)];
-        const float* xrow = px + col_idx_[static_cast<std::size_t>(k)] * c;
-        for (std::int64_t j = 0; j < c; ++j) yrow[j] += v * xrow[j];
-      }
+  const std::int64_t in_stride = cols_ * c;
+  const std::int64_t out_stride = rows_ * c;
+  // Collapsed (batch x row-block) tasks: a batch of 1 still exposes
+  // ceil(rows/kSpmmRowBlock) units of parallelism instead of one.
+  const std::int64_t blocks = (rows_ + kSpmmRowBlock - 1) / kSpmmRowBlock;
+  parallel_for(0, b * blocks, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t i = t / blocks;
+      const std::int64_t r_lo = (t % blocks) * kSpmmRowBlock;
+      const std::int64_t r_hi = std::min(rows_, r_lo + kSpmmRowBlock);
+      spmm_rows(px + i * in_stride, py + i * out_stride, c, r_lo, r_hi, bias, act);
     }
   });
   return y;
 }
 
+Tensor Csr::spmm(const Tensor& x) const {
+  if (x.dim() != 2) throw std::invalid_argument("Csr::spmm: x must be [cols, C]");
+  return spmm_impl(x, nullptr, ops::Act::kIdentity, "Csr::spmm");
+}
+
 Tensor Csr::spmm_batched(const Tensor& x) const {
-  if (x.dim() != 3 || x.size(1) != cols_) {
+  if (x.dim() != 3) {
     throw std::invalid_argument("Csr::spmm_batched: x must be [B, cols, C]");
+  }
+  return spmm_impl(x, nullptr, ops::Act::kIdentity, "Csr::spmm_batched");
+}
+
+Tensor Csr::spmm_bias_act(const Tensor& x, const Tensor& bias, ops::Act act) const {
+  const Tensor bc = bias.contiguous();
+  const std::int64_t c = x.dim() >= 1 ? x.size(-1) : 0;
+  if (bc.dim() != 1 || bc.size(0) != c) {
+    throw std::invalid_argument("Csr::spmm_bias_act: bias must be [C]");
+  }
+  return spmm_impl(x, bc.data(), act, "Csr::spmm_bias_act");
+}
+
+Tensor Csr::spmm_batched_reference(const Tensor& x) const {
+  if (x.dim() != 3 || x.size(1) != cols_) {
+    throw std::invalid_argument("Csr::spmm_batched_reference: x must be [B, cols, C]");
   }
   const Tensor xc = x.contiguous();
   const std::int64_t b = x.size(0);

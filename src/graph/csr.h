@@ -2,14 +2,19 @@
 //
 // ST-GNN spatial layers are built on SpMM with graph transition
 // matrices (DCRNN's dual random-walk diffusion, TGCN's symmetric
-// normalized adjacency).  Row-major CSR with threaded SpMM over rows
-// (2-D operands) or over batch items (3-D operands).
+// normalized adjacency).  Row-major CSR with threaded SpMM over a
+// collapsed (batch x row-block) iteration space, so small batches
+// still saturate the thread pool.  The bias add and activation of the
+// downstream layer can run in the SpMM store epilogue (spmm_bias_act)
+// instead of as extra materializing passes; results are bit-identical
+// to the unfused composition (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
 
 namespace pgti {
 
@@ -38,7 +43,7 @@ class Csr {
   const std::vector<std::int64_t>& col_idx() const noexcept { return col_idx_; }
   const std::vector<float>& values() const noexcept { return values_; }
 
-  /// A^T as CSR.
+  /// A^T as CSR (two-pass counting transpose, O(nnz + rows + cols)).
   Csr transpose() const;
 
   /// D^{-1} A: rows scaled to sum to 1 (random-walk transition matrix).
@@ -54,8 +59,20 @@ class Csr {
   /// Y = A * X for X [cols, C] -> Y [rows, C].
   Tensor spmm(const Tensor& x) const;
 
-  /// Batched: X [B, cols, C] -> Y [B, rows, C], parallel over B.
+  /// Batched: X [B, cols, C] -> Y [B, rows, C], parallel over the
+  /// collapsed (batch x row-block) space.
   Tensor spmm_batched(const Tensor& x) const;
+
+  /// Fused Y = act(A * X + bias) for X [cols, C] or [B, cols, C] and
+  /// bias [C].  The gather, accumulate, bias add, and activation run in
+  /// one pass per output row; bit-identical to
+  /// act(add_bias(spmm(x), bias)).
+  Tensor spmm_bias_act(const Tensor& x, const Tensor& bias, ops::Act act) const;
+
+  /// Retained pre-optimization batched kernel (parallel over B only,
+  /// serial rows inside).  bench_kernels measures the collapsed-space
+  /// speedup in-run against this; tests assert bit-identical output.
+  Tensor spmm_batched_reference(const Tensor& x) const;
 
  private:
   std::int64_t rows_ = 0;
@@ -65,6 +82,11 @@ class Csr {
   std::vector<float> values_;
 
   void spmm_into(const float* x, float* y, std::int64_t c) const;
+  /// Rows [r_lo, r_hi) of one SpMM with optional fused epilogue.
+  void spmm_rows(const float* x, float* y, std::int64_t c, std::int64_t r_lo,
+                 std::int64_t r_hi, const float* bias, ops::Act act) const;
+  Tensor spmm_impl(const Tensor& x, const float* bias, ops::Act act,
+                   const char* what) const;
 };
 
 }  // namespace pgti

@@ -37,7 +37,7 @@ std::vector<Variable> A3TGCN::forward_seq(const Tensor& x) const {
     h = cell_.forward(xt, h);
     Variable flat = ag::reshape(h, {b * n, h_dim});
     hidden_flat.push_back(flat);
-    scores.push_back(att_vec_.forward(ag::tanh(att_score_.forward(flat))));
+    scores.push_back(att_vec_.forward(att_score_.forward_act(flat, ops::Act::kTanh)));
   }
 
   // Global temporal attention: alpha = softmax_t(score_t).

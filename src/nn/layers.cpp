@@ -13,11 +13,23 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 }
 
 Variable Linear::forward(const Variable& x) const {
+  return forward_act(x, ops::Act::kIdentity);
+}
+
+Variable Linear::forward_act(const Variable& x, ops::Act act) const {
   if (x.value().dim() != 2 || x.value().size(1) != in_) {
     throw std::invalid_argument("Linear::forward: expected [M, " + std::to_string(in_) +
                                 "], got " + shape_to_string(x.value().shape()));
   }
-  return ag::add_bias(ag::matmul(x, weight_), bias_);
+  return ag::matmul_bias_act(x, weight_, bias_, act);
+}
+
+Variable Linear::forward_reference(const Variable& x) const {
+  if (x.value().dim() != 2 || x.value().size(1) != in_) {
+    throw std::invalid_argument("Linear::forward: expected [M, " + std::to_string(in_) +
+                                "], got " + shape_to_string(x.value().shape()));
+  }
+  return ag::add_bias(ag::matmul_reference(x, weight_), bias_);
 }
 
 GraphSupports GraphSupports::from(std::vector<Csr> supports) {
@@ -42,11 +54,43 @@ DiffusionConv::DiffusionConv(std::int64_t in_channels, std::int64_t out_channels
   bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
 }
 
+namespace {
+
+// Shared K-hop propagation + flatten for the DiffusionConv variants:
+// x, P x, P^2 x, ... per support, concatenated to [B*N, M*Cin].
+Variable diffusion_features(const Variable& x, const GraphSupports& supports, int k,
+                            std::int64_t b, std::int64_t n) {
+  std::vector<Variable> feats;
+  feats.reserve(1 + supports.count() * static_cast<std::size_t>(k));
+  feats.push_back(x);
+  for (std::size_t s = 0; s < supports.count(); ++s) {
+    Variable cur = x;
+    for (int hop = 0; hop < k; ++hop) {
+      cur = ag::spmm(supports.mats[s], supports.transposed[s], cur);
+      feats.push_back(cur);
+    }
+  }
+  Variable cat = ag::concat_lastdim(feats);  // [B, N, M*Cin]
+  const std::int64_t total_c = cat.value().size(2);
+  return ag::reshape(cat, {b * n, total_c});
+}
+
+}  // namespace
+
 Variable DiffusionConv::forward(const Variable& x) const {
-  return forward(x, *supports_);
+  return forward_act(x, *supports_, ops::Act::kIdentity);
 }
 
 Variable DiffusionConv::forward(const Variable& x, const GraphSupports& supports) const {
+  return forward_act(x, supports, ops::Act::kIdentity);
+}
+
+Variable DiffusionConv::forward_act(const Variable& x, ops::Act act) const {
+  return forward_act(x, *supports_, act);
+}
+
+Variable DiffusionConv::forward_act(const Variable& x, const GraphSupports& supports,
+                                    ops::Act act) const {
   const Tensor& v = x.value();
   if (v.dim() != 3 || v.size(2) != in_) {
     throw std::invalid_argument("DiffusionConv::forward: expected [B, N, Cin]");
@@ -57,22 +101,31 @@ Variable DiffusionConv::forward(const Variable& x, const GraphSupports& supports
   }
   const std::int64_t b = v.size(0);
   const std::int64_t n = v.size(1);
+  Variable flat = diffusion_features(x, supports, k_, b, n);
+  // The activation commutes with the trailing reshape, so applying it
+  // in the matmul epilogue is bit-identical to act(reshape(...)).
+  Variable out = ag::matmul_bias_act(flat, weight_, bias_, act);
+  return ag::reshape(out, {b, n, out_});
+}
 
-  // K-hop propagation: x, P x, P^2 x, ... per support.
-  std::vector<Variable> feats;
-  feats.reserve(1 + supports.count() * static_cast<std::size_t>(k_));
-  feats.push_back(x);
-  for (std::size_t s = 0; s < supports.count(); ++s) {
-    Variable cur = x;
-    for (int hop = 0; hop < k_; ++hop) {
-      cur = ag::spmm(supports.mats[s], supports.transposed[s], cur);
-      feats.push_back(cur);
-    }
+Variable DiffusionConv::forward_reference(const Variable& x) const {
+  return forward_reference(x, *supports_);
+}
+
+Variable DiffusionConv::forward_reference(const Variable& x,
+                                          const GraphSupports& supports) const {
+  const Tensor& v = x.value();
+  if (v.dim() != 3 || v.size(2) != in_) {
+    throw std::invalid_argument("DiffusionConv::forward: expected [B, N, Cin]");
   }
-  Variable cat = ag::concat_lastdim(feats);  // [B, N, M*Cin]
-  const std::int64_t total_c = cat.value().size(2);
-  Variable flat = ag::reshape(cat, {b * n, total_c});
-  Variable out = ag::add_bias(ag::matmul(flat, weight_), bias_);
+  if (supports.count() != supports_->count()) {
+    throw std::invalid_argument(
+        "DiffusionConv::forward: support count differs from construction");
+  }
+  const std::int64_t b = v.size(0);
+  const std::int64_t n = v.size(1);
+  Variable flat = diffusion_features(x, supports, k_, b, n);
+  Variable out = ag::add_bias(ag::matmul_reference(flat, weight_), bias_);
   return ag::reshape(out, {b, n, out_});
 }
 

@@ -101,7 +101,7 @@ Variable STLLM::Block::forward(const Variable& x, std::int64_t batch,
   Variable x1 = ag::add(x, proj.forward(attn));
   // Pre-LN FFN with residual.
   Variable normed2 = ag::layer_norm(x1, ln2_gamma, ln2_beta);
-  Variable f = ffn2.forward(ag::relu(ffn1.forward(normed2)));
+  Variable f = ffn2.forward(ffn1.forward_act(normed2, ops::Act::kRelu));
   return ag::add(x1, f);
 }
 

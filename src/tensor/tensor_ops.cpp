@@ -11,6 +11,16 @@ namespace {
 
 constexpr std::int64_t kGrain = 16384;  // min elements per parallel chunk
 
+// Register/cache blocking for the matmul family.  kMR rows of A are
+// held against one streamed row of B (4x fewer B loads than the naive
+// kernel) and accumulated into a kMR x kNR panel that lives in
+// registers; the j-panel keeps the B working set cache-resident.  The
+// accumulation per output element remains strictly k-ascending, so the
+// blocked kernels are bit-identical to the naive reference regardless
+// of blocking factors, thread count, or SIMD width.
+constexpr std::int64_t kMR = 4;   // register-block rows
+constexpr std::int64_t kNR = 64;  // j-panel width (floats)
+
 const Tensor& require_contiguous(const Tensor& t, const char* what) {
   if (!t.is_contiguous()) {
     throw std::logic_error(std::string(what) + ": tensor must be contiguous");
@@ -42,6 +52,21 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* what, F f) {
 }
 
 template <typename F>
+void binary_into(const Tensor& a, const Tensor& b, Tensor& out, const char* what, F f) {
+  require_same_shape(a, b, what);
+  require_same_shape(a, out, what);
+  require_contiguous(a, what);
+  require_contiguous(b, what);
+  require_contiguous(out, what);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
+}
+
+template <typename F>
 Tensor unary_op(const Tensor& t, const char* what, F f) {
   require_contiguous(t, what);
   Tensor out = Tensor::empty(t.shape(), t.space());
@@ -53,11 +78,98 @@ Tensor unary_op(const Tensor& t, const char* what, F f) {
   return out;
 }
 
+template <typename F>
+void unary_inplace(Tensor& t, const char* what, F f) {
+  require_contiguous(t, what);
+  float* pt = t.data();
+  parallel_for(0, t.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pt[i] = f(pt[i]);
+  });
+}
+
 // Rows/cols of a tensor treated as a [M, C] matrix (flatten leading dims).
 std::pair<std::int64_t, std::int64_t> as_matrix(const Tensor& t, const char* what) {
   if (t.dim() < 1) throw std::invalid_argument(std::string(what) + ": rank 0");
   const std::int64_t c = t.size(-1);
   return {t.numel() / (c == 0 ? 1 : c), c};
+}
+
+// Applies the optional bias/activation epilogue to a freshly computed
+// row segment of C (the store step of the blocked kernels).
+inline void store_epilogue(const float* acc, float* crow, std::int64_t nr,
+                           const float* bias, Act act) {
+  if (bias != nullptr) {
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] = act_apply(act, acc[j] + bias[j]);
+  } else if (act != Act::kIdentity) {
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] = act_apply(act, acc[j]);
+  } else {
+    std::copy(acc, acc + nr, crow);
+  }
+}
+
+// Rows [i_lo, i_hi) of C[M,N] = A[M,K] * B[K,N] with fused epilogue.
+void gemm_nn_rows(const float* pa, const float* pb, float* pc, std::int64_t i_lo,
+                  std::int64_t i_hi, std::int64_t K, std::int64_t N,
+                  const float* bias, Act act) {
+  float acc[kMR][kNR];
+  for (std::int64_t i0 = i_lo; i0 < i_hi; i0 += kMR) {
+    const std::int64_t mr = std::min(kMR, i_hi - i0);
+    for (std::int64_t j0 = 0; j0 < N; j0 += kNR) {
+      const std::int64_t nr = std::min(kNR, N - j0);
+      for (std::int64_t r = 0; r < mr; ++r) std::fill(acc[r], acc[r] + nr, 0.0f);
+      if (mr == kMR && nr == kNR) {
+        // Full register block: one B-row load feeds kMR accumulator rows.
+        for (std::int64_t k = 0; k < K; ++k) {
+          const float* brow = pb + k * N + j0;
+          for (std::int64_t r = 0; r < kMR; ++r) {
+            const float a = pa[(i0 + r) * K + k];
+            for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += a * brow[j];
+          }
+        }
+      } else {
+        for (std::int64_t k = 0; k < K; ++k) {
+          const float* brow = pb + k * N + j0;
+          for (std::int64_t r = 0; r < mr; ++r) {
+            const float a = pa[(i0 + r) * K + k];
+            for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += a * brow[j];
+          }
+        }
+      }
+      for (std::int64_t r = 0; r < mr; ++r) {
+        store_epilogue(acc[r], pc + (i0 + r) * N + j0, nr, bias == nullptr ? nullptr : bias + j0,
+                       act);
+      }
+    }
+  }
+}
+
+// Parallel grain for row-partitioned gemm: enough rows per chunk to
+// amortize dispatch, rounded to the register block so full blocks
+// dominate.
+std::int64_t gemm_grain(std::int64_t K, std::int64_t N) {
+  const std::int64_t per_row = std::max<std::int64_t>(1, K * N);
+  std::int64_t rows = std::max<std::int64_t>(1, 4 * kGrain / per_row);
+  return ((rows + kMR - 1) / kMR) * kMR;
+}
+
+Tensor matmul_bias_act_impl(const Tensor& a, const Tensor& b, const float* bias,
+                            Act act, const char* what) {
+  require_contiguous(a, what);
+  require_contiguous(b, what);
+  if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(0)) {
+    throw std::invalid_argument(std::string(what) + ": incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  const std::int64_t M = a.size(0), K = a.size(1), N = b.size(1);
+  Tensor out = Tensor::empty({M, N}, a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(0, M, gemm_grain(K, N), [&](std::int64_t lo, std::int64_t hi) {
+    gemm_nn_rows(pa, pb, pc, lo, hi, K, N, bias, act);
+  });
+  return out;
 }
 
 }  // namespace
@@ -95,6 +207,8 @@ void add_(Tensor& a, const Tensor& b) {
 
 void sub_(Tensor& a, const Tensor& b) {
   require_same_shape(a, b, "sub_");
+  require_contiguous(a, "sub_");
+  require_contiguous(b, "sub_");
   float* pa = a.data();
   const float* pb = b.data();
   parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
@@ -104,6 +218,8 @@ void sub_(Tensor& a, const Tensor& b) {
 
 void mul_(Tensor& a, const Tensor& b) {
   require_same_shape(a, b, "mul_");
+  require_contiguous(a, "mul_");
+  require_contiguous(b, "mul_");
   float* pa = a.data();
   const float* pb = b.data();
   parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
@@ -112,6 +228,7 @@ void mul_(Tensor& a, const Tensor& b) {
 }
 
 void scale_(Tensor& a, float s) {
+  require_contiguous(a, "scale_");
   float* pa = a.data();
   parallel_for(0, a.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) pa[i] *= s;
@@ -120,11 +237,37 @@ void scale_(Tensor& a, float s) {
 
 void axpy_(float alpha, const Tensor& x, Tensor& y) {
   require_same_shape(x, y, "axpy_");
+  require_contiguous(x, "axpy_");
+  require_contiguous(y, "axpy_");
   const float* px = x.data();
   float* py = y.data();
   parallel_for(0, x.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
   });
+}
+
+void sigmoid_(Tensor& t) {
+  unary_inplace(t, "sigmoid_", [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+void tanh_(Tensor& t) {
+  unary_inplace(t, "tanh_", [](float x) { return std::tanh(x); });
+}
+void relu_(Tensor& t) {
+  unary_inplace(t, "relu_", [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+void apply_act_(Tensor& t, Act act) {
+  if (act == Act::kIdentity) return;
+  unary_inplace(t, "apply_act_", [act](float x) { return act_apply(act, x); });
+}
+
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary_into(a, b, out, "add_into", [](float x, float y) { return x + y; });
+}
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary_into(a, b, out, "sub_into", [](float x, float y) { return x - y; });
+}
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary_into(a, b, out, "mul_into", [](float x, float y) { return x * y; });
 }
 
 Tensor sigmoid(const Tensor& t) {
@@ -147,10 +290,22 @@ Tensor neg(const Tensor& t) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  require_contiguous(a, "matmul");
-  require_contiguous(b, "matmul");
+  return matmul_bias_act_impl(a, b, nullptr, Act::kIdentity, "matmul");
+}
+
+Tensor matmul_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias, Act act) {
+  require_contiguous(bias, "matmul_bias_act");
+  if (bias.dim() != 1 || bias.size(0) != b.size(1)) {
+    throw std::invalid_argument("matmul_bias_act: bias must be [N]");
+  }
+  return matmul_bias_act_impl(a, b, bias.data(), act, "matmul_bias_act");
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_reference");
+  require_contiguous(b, "matmul_reference");
   if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(0)) {
-    throw std::invalid_argument("matmul: incompatible shapes " +
+    throw std::invalid_argument("matmul_reference: incompatible shapes " +
                                 shape_to_string(a.shape()) + " x " +
                                 shape_to_string(b.shape()));
   }
@@ -175,20 +330,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  require_contiguous(a, "matmul_tn");
-  require_contiguous(b, "matmul_tn");
+Tensor matmul_tn_reference(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_tn_reference");
+  require_contiguous(b, "matmul_tn_reference");
   if (a.dim() != 2 || b.dim() != 2 || a.size(0) != b.size(0)) {
-    throw std::invalid_argument("matmul_tn: incompatible shapes");
+    throw std::invalid_argument("matmul_tn_reference: incompatible shapes");
   }
   const std::int64_t K = a.size(0), M = a.size(1), N = b.size(1);
   Tensor out = Tensor::zeros({M, N}, a.space());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  // C[m, n] = sum_k A[k, m] * B[k, n].  Parallelizing over m would race
-  // nothing, but the k-major layout favours accumulating rank-1 updates;
-  // chunk over m and walk k inside to stay race-free.
   parallel_for(0, M, 8, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t k = 0; k < K; ++k) {
       const float* arow = pa + k * M;
@@ -204,11 +356,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  require_contiguous(a, "matmul_nt");
-  require_contiguous(b, "matmul_nt");
+Tensor matmul_nt_reference(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_nt_reference");
+  require_contiguous(b, "matmul_nt_reference");
   if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(1)) {
-    throw std::invalid_argument("matmul_nt: incompatible shapes");
+    throw std::invalid_argument("matmul_nt_reference: incompatible shapes");
   }
   const std::int64_t M = a.size(0), K = a.size(1), N = b.size(0);
   Tensor out = Tensor::empty({M, N}, a.space());
@@ -226,6 +378,87 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
         crow[j] = acc;
       }
     }
+  });
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_tn");
+  require_contiguous(b, "matmul_tn");
+  if (a.dim() != 2 || b.dim() != 2 || a.size(0) != b.size(0)) {
+    throw std::invalid_argument("matmul_tn: incompatible shapes");
+  }
+  const std::int64_t K = a.size(0), M = a.size(1), N = b.size(1);
+  Tensor out = Tensor::empty({M, N}, a.space());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // C[m, n] = sum_k A[k, m] * B[k, n].  Same register-blocked shape as
+  // gemm_nn_rows; the kMR A operands for row k are contiguous in A's
+  // row k, so the load is a plain 4-float read.
+  parallel_for(0, M, gemm_grain(K, N), [&](std::int64_t lo, std::int64_t hi) {
+    float acc[kMR][kNR];
+    for (std::int64_t m0 = lo; m0 < hi; m0 += kMR) {
+      const std::int64_t mr = std::min(kMR, hi - m0);
+      for (std::int64_t j0 = 0; j0 < N; j0 += kNR) {
+        const std::int64_t nr = std::min(kNR, N - j0);
+        for (std::int64_t r = 0; r < mr; ++r) std::fill(acc[r], acc[r] + nr, 0.0f);
+        if (mr == kMR && nr == kNR) {
+          for (std::int64_t k = 0; k < K; ++k) {
+            const float* a4 = pa + k * M + m0;
+            const float* brow = pb + k * N + j0;
+            for (std::int64_t r = 0; r < kMR; ++r) {
+              const float akm = a4[r];
+              for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += akm * brow[j];
+            }
+          }
+        } else {
+          for (std::int64_t k = 0; k < K; ++k) {
+            const float* a4 = pa + k * M + m0;
+            const float* brow = pb + k * N + j0;
+            for (std::int64_t r = 0; r < mr; ++r) {
+              const float akm = a4[r];
+              for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += akm * brow[j];
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < mr; ++r) {
+          std::copy(acc[r], acc[r] + nr, pc + (m0 + r) * N + j0);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_contiguous(a, "matmul_nt");
+  require_contiguous(b, "matmul_nt");
+  if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(1)) {
+    throw std::invalid_argument("matmul_nt: incompatible shapes");
+  }
+  const std::int64_t M = a.size(0), K = a.size(1), N = b.size(0);
+  // Row-row dot products cannot vectorize: each C[i, j] is one serial
+  // k-chain, and SIMD across k would reassociate the sum.  Instead,
+  // transpose B once (O(K*N), negligible next to the 2*M*K*N GEMM) and
+  // run the same j-panel-vectorized kernel as matmul.  Accumulation per
+  // element is still a single k-ascending chain — identical bits to
+  // the dot-product form, ~10x faster at backward shapes.
+  Tensor bt = Tensor::empty({K, N}, b.space());
+  const float* pb = b.data();
+  float* pbt = bt.data();
+  parallel_for(0, N, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, K)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t j = lo; j < hi; ++j) {
+                   const float* brow = pb + j * K;
+                   for (std::int64_t k = 0; k < K; ++k) pbt[k * N + j] = brow[k];
+                 }
+               });
+  Tensor out = Tensor::empty({M, N}, a.space());
+  const float* pa = a.data();
+  float* pc = out.data();
+  parallel_for(0, M, gemm_grain(K, N), [&](std::int64_t lo, std::int64_t hi) {
+    gemm_nn_rows(pa, pbt, pc, lo, hi, K, N, nullptr, Act::kIdentity);
   });
   return out;
 }
@@ -272,6 +505,54 @@ Tensor mul_colvec(const Tensor& m, const Tensor& col) {
                    for (std::int64_t c = 0; c < cols; ++c) dst[c] = src[c] * s;
                  }
                });
+  return out;
+}
+
+void gru_gates(const Tensor& pre, const Tensor& h, Tensor& r, Tensor& u, Tensor& rh) {
+  require_contiguous(pre, "gru_gates");
+  require_contiguous(h, "gru_gates");
+  require_contiguous(r, "gru_gates");
+  require_contiguous(u, "gru_gates");
+  require_contiguous(rh, "gru_gates");
+  const auto [rows, hidden] = as_matrix(h, "gru_gates");
+  if (pre.size(-1) != 2 * hidden || pre.numel() != 2 * h.numel() ||
+      r.shape() != h.shape() || u.shape() != h.shape() || rh.shape() != h.shape()) {
+    throw std::invalid_argument("gru_gates: pre must be [.., 2H] matching h [.., H]");
+  }
+  const float* pp = pre.data();
+  const float* ph = h.data();
+  float* pr = r.data();
+  float* pu = u.data();
+  float* prh = rh.data();
+  parallel_for(0, rows, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, hidden)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const float* prow = pp + i * 2 * hidden;
+                   const std::int64_t off = i * hidden;
+                   for (std::int64_t j = 0; j < hidden; ++j) {
+                     const float rv = 1.0f / (1.0f + std::exp(-prow[j]));
+                     pr[off + j] = rv;
+                     pu[off + j] = 1.0f / (1.0f + std::exp(-prow[hidden + j]));
+                     prh[off + j] = rv * ph[off + j];
+                   }
+                 }
+               });
+}
+
+Tensor gru_state(const Tensor& c, const Tensor& u, const Tensor& h) {
+  require_same_shape(c, u, "gru_state");
+  require_same_shape(c, h, "gru_state");
+  require_contiguous(c, "gru_state");
+  require_contiguous(u, "gru_state");
+  require_contiguous(h, "gru_state");
+  Tensor out = Tensor::empty(c.shape(), c.space());
+  const float* pc = c.data();
+  const float* pu = u.data();
+  const float* ph = h.data();
+  float* po = out.data();
+  parallel_for(0, c.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pc[i] + pu[i] * (ph[i] - pc[i]);
+  });
   return out;
 }
 

@@ -5,14 +5,42 @@
 // with OpenMP-style parallel_for.  Inputs must be contiguous (views
 // from index-batching are made contiguous during batch assembly, which
 // is exactly the copy the paper's batch collation performs).
+//
+// Determinism invariant (DESIGN.md §14): every kernel accumulates each
+// output element in an order that is a pure function of the operand
+// shapes — never of the thread count, blocking factors, or SIMD width.
+// The register-blocked matmul family and the fused epilogues below are
+// therefore bit-identical to the retained *_reference kernels, and
+// losses stay bit-identical across world sizes, strategies, and
+// prefetch depths.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace pgti::ops {
+
+/// Activation applied by the fused matmul/SpMM epilogues.
+enum class Act : std::uint8_t { kIdentity, kSigmoid, kTanh, kRelu };
+
+/// Scalar activation — the single definition every fused kernel and its
+/// unfused counterpart share, so fused/unfused results are bit-identical.
+inline float act_apply(Act act, float x) {
+  switch (act) {
+    case Act::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case Act::kTanh:
+      return std::tanh(x);
+    case Act::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Act::kIdentity:
+      break;
+  }
+  return x;
+}
 
 // --- elementwise binary (same shape) ---------------------------------
 Tensor add(const Tensor& a, const Tensor& b);
@@ -30,6 +58,17 @@ void sub_(Tensor& a, const Tensor& b);           ///< a -= b
 void mul_(Tensor& a, const Tensor& b);           ///< a *= b
 void scale_(Tensor& a, float s);                 ///< a *= s
 void axpy_(float alpha, const Tensor& x, Tensor& y);  ///< y += alpha * x
+void sigmoid_(Tensor& t);                        ///< t = sigmoid(t)
+void tanh_(Tensor& t);                           ///< t = tanh(t)
+void relu_(Tensor& t);                           ///< t = relu(t)
+void apply_act_(Tensor& t, Act act);             ///< t = act(t)
+
+// --- output-reusing binary (out preallocated; may alias a or b) --------
+// Elementwise chains that would otherwise allocate one tensor per op
+// write into an existing buffer instead.
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);  ///< out = a + b
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out);  ///< out = a - b
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out);  ///< out = a * b
 
 // --- unary ---------------------------------------------------------------
 Tensor sigmoid(const Tensor& t);
@@ -40,17 +79,44 @@ Tensor abs(const Tensor& t);
 Tensor neg(const Tensor& t);
 
 // --- linear algebra -------------------------------------------------------
-/// C[M,N] = A[M,K] * B[K,N]
+/// C[M,N] = A[M,K] * B[K,N]  (register-blocked, cache-tiled)
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// C[M,N] = A[K,M]^T * B[K,N]  (used by matmul backward wrt rhs)
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// C[M,N] = A[M,K] * B[N,K]^T  (used by matmul backward wrt lhs)
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
+/// Fused C = act(A * B + bias): the bias add and activation run in the
+/// matmul's store epilogue instead of as two extra passes with two
+/// intermediate tensors.  Bit-identical to
+/// act(add_bias(matmul(a, b), bias)).
+Tensor matmul_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias, Act act);
+
+/// Retained naive triple-loop kernel (the pre-optimization baseline).
+/// bench_kernels measures the blocked/naive ratio in-run against this;
+/// tests assert the blocked kernel is bit-identical to it.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
+/// Retained pre-optimization backward kernels (rank-1 update loop and
+/// row-row dot products).  Same per-element k-ascending accumulation as
+/// the blocked tn/nt — identical bits, pre-PR speed — so the reference
+/// training path prices its backward like the code it replaces.
+Tensor matmul_tn_reference(const Tensor& a, const Tensor& b);
+Tensor matmul_nt_reference(const Tensor& a, const Tensor& b);
+
 /// out[M,C] = m[M,C] + bias[C] broadcast over rows.
 Tensor add_bias(const Tensor& m, const Tensor& bias);
 /// out[M,C] = m[M,C] * col[M,1] broadcast over columns.
 Tensor mul_colvec(const Tensor& m, const Tensor& col);
+
+// --- fused GRU gate kernels -------------------------------------------------
+/// One pass over pre [.., 2H] and h [.., H] computing the DCGRU gate
+/// block: r = sigmoid(pre[.., :H]), u = sigmoid(pre[.., H:]), rh = r*h.
+/// r/u/rh must be preallocated with h's shape.  Replaces
+/// sigmoid + 2x slice + mul (four tensors, four passes) with one pass.
+void gru_gates(const Tensor& pre, const Tensor& h, Tensor& r, Tensor& u, Tensor& rh);
+/// out = c + u*(h - c) in one pass (the GRU state update), without the
+/// sub/mul/add temporaries.
+Tensor gru_state(const Tensor& c, const Tensor& u, const Tensor& h);
 
 // --- reductions ------------------------------------------------------------
 double sum(const Tensor& t);

@@ -200,5 +200,100 @@ TEST_P(SupportSizes, TransitionPreservesConstantVector) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SupportSizes, ::testing::Values(8, 16, 64, 128));
 
+// ---- exactness of the counting transpose / single-pass row kernels ----
+// The O(nnz) counting transpose and the fused row_sums/row_normalized
+// sweep must reproduce the old COO-round-trip / per-row double-loop
+// results EXACTLY (same arrays, same bits), since normalized supports
+// feed the bit-determinism suites.
+
+Csr random_sparse(std::int64_t rows, std::int64_t cols, std::int64_t nnz,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    const auto r = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(rows)));
+    const auto c = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(cols)));
+    entries.push_back(CooEntry{r, c, static_cast<float>(rng.uniform(0.1, 1.1))});
+  }
+  return Csr::from_coo(rows, cols, std::move(entries));
+}
+
+// The pre-optimization transpose: emit swapped COO entries, rebuild.
+Csr coo_round_trip_transpose(const Csr& m) {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(m.nnz()));
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    for (std::int64_t k = m.row_ptr()[static_cast<std::size_t>(r)];
+         k < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      entries.push_back(CooEntry{m.col_idx()[static_cast<std::size_t>(k)], r,
+                                 m.values()[static_cast<std::size_t>(k)]});
+    }
+  }
+  return Csr::from_coo(m.cols(), m.rows(), std::move(entries));
+}
+
+TEST(Csr, CountingTransposeExactlyMatchesCooRoundTrip) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Csr m = random_sparse(37, 53, 400, seed);
+    const Csr got = m.transpose();
+    const Csr want = coo_round_trip_transpose(m);
+    EXPECT_EQ(got.rows(), want.rows());
+    EXPECT_EQ(got.cols(), want.cols());
+    EXPECT_EQ(got.row_ptr(), want.row_ptr());
+    EXPECT_EQ(got.col_idx(), want.col_idx());
+    ASSERT_EQ(got.values().size(), want.values().size());
+    for (std::size_t i = 0; i < got.values().size(); ++i) {
+      // Bitwise, not approximate: the scatter must move each value
+      // untouched into the canonical sorted position.
+      EXPECT_EQ(got.values()[i], want.values()[i]) << "value " << i;
+    }
+  }
+}
+
+TEST(Csr, CountingTransposeHandlesEmptyRowsAndCols) {
+  // Row 1 empty; column 0 never referenced -> empty row in transpose.
+  const Csr m = Csr::from_coo(3, 4, {{0, 2, 1.0f}, {2, 1, 2.0f}, {2, 3, 3.0f}});
+  const Csr t = m.transpose();
+  const Csr want = coo_round_trip_transpose(m);
+  EXPECT_EQ(t.row_ptr(), want.row_ptr());
+  EXPECT_EQ(t.col_idx(), want.col_idx());
+  EXPECT_EQ(t.values(), want.values());
+}
+
+TEST(Csr, RowSumsExactlyMatchPerRowLoop) {
+  const Csr m = random_sparse(41, 41, 300, 9);
+  const std::vector<float> got = m.row_sums();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(m.rows()));
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    // Old path: left-to-right float accumulation within each row.
+    float want = 0.0f;
+    for (std::int64_t k = m.row_ptr()[static_cast<std::size_t>(r)];
+         k < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      want += m.values()[static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], want) << "row " << r;
+  }
+}
+
+TEST(Csr, RowNormalizedExactlyMatchesPerRowScaling) {
+  Csr m = random_sparse(29, 29, 200, 10);
+  const Csr got = m.row_normalized();
+  const std::vector<float> sums = m.row_sums();
+  EXPECT_EQ(got.row_ptr(), m.row_ptr());
+  EXPECT_EQ(got.col_idx(), m.col_idx());
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    const float s = sums[static_cast<std::size_t>(r)];
+    for (std::int64_t k = m.row_ptr()[static_cast<std::size_t>(r)];
+         k < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const float want = s == 0.0f
+                             ? m.values()[static_cast<std::size_t>(k)]
+                             : m.values()[static_cast<std::size_t>(k)] * (1.0f / s);
+      EXPECT_EQ(got.values()[static_cast<std::size_t>(k)], want)
+          << "row " << r << " entry " << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pgti
