@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate in one command: configure + build + ctest, with warnings
-# in src/dist/ promoted to errors (PGTI_WERROR).
+# in src/dist/ promoted to errors (PGTI_WERROR), plus a multi-process
+# smoke stage proving the socket transport reproduces in-process
+# losses byte for byte across forked rank processes.
 #
 #   scripts/check.sh [build-dir]
 #
@@ -13,8 +15,10 @@
 #                  tier-1 suites under it — dist_test,
 #                  dist_determinism_test, dist_prefetch_test (async
 #                  staging pipeline + PrefetchLoader abort/restart
-#                  stress), epoch_engine_test (the shared
-#                  Trainer/DistTrainer pipeline at depth N),
+#                  stress), dist_transport_test (socket-vs-in-process
+#                  bit identity, the TCP fault sweeps, and the SimClock
+#                  concurrent-charge hammer), epoch_engine_test (the
+#                  shared Trainer/DistTrainer pipeline at depth N),
 #                  grad_overlap_test (per-rank comm threads firing
 #                  ready-bucket all-reduces under backward, including
 #                  the mid-backward fault-injection sweep), and
@@ -29,6 +33,10 @@ jobs="${JOBS:-$(nproc)}"
 cmake -B "${build_dir}" -S "${repo_root}" -DPGTI_WERROR=ON
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:--L tier1}
+
+echo
+echo "== multi-process smoke: socket transport (forked ranks, world=4) vs in-process =="
+"${build_dir}/examples/socket_ddp" --smoke
 
 sanitize="${PGTI_SANITIZE:-}"
 if [ -n "${sanitize}" ]; then

@@ -37,7 +37,22 @@ class DistTrainer {
  public:
   explicit DistTrainer(DistConfig config) : cfg_(std::move(config)) {}
 
+  /// In-process run: spawns a dist::Cluster of cfg.world thread-backed
+  /// ranks and drives the full job.
   DistResult run();
+
+  /// One rank of a multi-process run: the caller owns the transport
+  /// (e.g. a SocketTransport mesh across forked rank processes — see
+  /// examples/socket_ddp.cpp) and passes this rank's Communicator;
+  /// comm.world() must equal cfg.world.  Every process rebuilds the
+  /// synthetic raw signal deterministically from cfg.seed, so the data
+  /// plane needs no shared memory; the store-backed baseline modes
+  /// (kBaselineDdp*) require the in-process cluster and throw here.
+  /// Losses are byte-identical to run(): the collectives are the same
+  /// algorithm layer, only the transport differs (DESIGN.md §15).
+  /// Rank 0's result carries the curve/stats; other ranks return a
+  /// skeleton.
+  DistResult run_rank(dist::Communicator& comm);
 
   const DistConfig& config() const noexcept { return cfg_; }
 

@@ -1,0 +1,201 @@
+#include "dist/algorithms.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pgti::dist::alg {
+namespace {
+
+struct ChunkRange {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+/// Contiguous ceil-chunk owned by rank r in the reduce-scatter layout;
+/// empty ([n, n)) for trailing ranks when n < world.
+ChunkRange chunk_of(std::int64_t n, int world, int r) {
+  const std::int64_t chunk = (n + world - 1) / world;
+  const std::int64_t lo = std::min<std::int64_t>(chunk * r, n);
+  const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n);
+  return {lo, hi};
+}
+
+}  // namespace
+
+int allreduce_stages(int world) noexcept {
+  // Prefix-doubling: after stage s every chunk holds the rank-ordered
+  // sum of ranks [0, min(2^(s+1), world)).  ceil(log2(world)) stages;
+  // a single rank still runs one (copy) stage.
+  int stages = 1;
+  while ((std::int64_t{1} << stages) < world) ++stages;
+  return stages;
+}
+
+int allreduce_sync_points(int world) noexcept {
+  // collective entry + input exchange + one per tree stage + gather.
+  return allreduce_stages(world) + 3;
+}
+
+int broadcast_sync_points(int world) noexcept {
+  // payload staging + one per delivery stage.
+  return allreduce_stages(world) + 1;
+}
+
+void tree_allreduce(Transport& t, float* data, std::int64_t n, bool mean,
+                    AllreduceScratch& scratch) {
+  const int w = t.world();
+  const int rank = t.rank();
+  const ChunkRange own = chunk_of(n, w, rank);
+  const std::size_t cn = static_cast<std::size_t>(own.hi - own.lo);
+
+  t.sync();  // collective entry: the previous collective's scratch is free
+
+  // Input exchange (reduce-scatter): every rank ships each peer the
+  // slice of its input that falls in the peer's owned chunk, then
+  // collects the W slices of its own chunk.  All sends are posted
+  // before the first recv (deadlock freedom); recvs drain in ascending
+  // rank order.  The staged copies mean no tree stage ever reads a
+  // caller's (unwindable) buffer.
+  scratch.staged.resize(cn * static_cast<std::size_t>(w));
+  for (int q = 0; q < w; ++q) {
+    if (q == rank) continue;
+    const ChunkRange theirs = chunk_of(n, w, q);
+    t.send(q, data + theirs.lo,
+           static_cast<std::size_t>(theirs.hi - theirs.lo) * sizeof(float));
+  }
+  if (cn > 0) {
+    std::memcpy(scratch.staged.data() + cn * static_cast<std::size_t>(rank),
+                data + own.lo, cn * sizeof(float));
+  }
+  for (int q = 0; q < w; ++q) {
+    if (q == rank) continue;
+    t.recv(q, scratch.staged.data() + cn * static_cast<std::size_t>(q),
+           cn * sizeof(float));
+  }
+  t.sync();  // all inputs exchanged
+
+  // Accumulate this rank's chunk through the fixed prefix-doubling
+  // stage schedule: stage s merges source ranks [2^s, 2^(s+1)) into
+  // the accumulated prefix [0, 2^s) (stage 0 also seeds the chunk with
+  // rank 0's slice).  Per-element addition order is strictly rank
+  // 0..W-1 — identical bits to a flat rank-ordered reduction.
+  scratch.chunk.resize(cn);
+  float* out = scratch.chunk.data();
+  const int stages = allreduce_stages(w);
+  for (int s = 0; s < stages; ++s) {
+    const int src_begin = s == 0 ? 0 : 1 << s;
+    const int src_end = std::min(w, 1 << (s + 1));
+    for (int q = src_begin; q < src_end; ++q) {
+      const float* src = scratch.staged.data() + cn * static_cast<std::size_t>(q);
+      if (q == 0) {
+        if (cn > 0) std::memcpy(out, src, cn * sizeof(float));
+      } else {
+        for (std::size_t i = 0; i < cn; ++i) out[i] += src[i];
+      }
+    }
+    if (s + 1 == stages && mean) {
+      const float inv = 1.0f / static_cast<float>(w);
+      for (std::size_t i = 0; i < cn; ++i) out[i] *= inv;
+    }
+    t.sync();  // tree stage s complete on every chunk
+  }
+
+  // Gather: every rank broadcasts its reduced chunk; the full result
+  // assembles in-place in rank order.  Pure copies — no rounding.
+  for (int q = 0; q < w; ++q) {
+    if (q == rank) continue;
+    t.send(q, out, cn * sizeof(float));
+  }
+  if (cn > 0) std::memcpy(data + own.lo, out, cn * sizeof(float));
+  for (int q = 0; q < w; ++q) {
+    if (q == rank) continue;
+    const ChunkRange theirs = chunk_of(n, w, q);
+    t.recv(q, data + theirs.lo,
+           static_cast<std::size_t>(theirs.hi - theirs.lo) * sizeof(float));
+  }
+  t.sync();  // everyone gathered; scratch reusable
+}
+
+void tree_broadcast(Transport& t, float* data, std::int64_t n, int root) {
+  const int w = t.world();
+  const int rank = t.rank();
+  if (root < 0 || root >= w) {
+    throw std::invalid_argument("broadcast: root " + std::to_string(root) +
+                                " outside [0, " + std::to_string(w) + ")");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(float);
+
+  t.sync();  // payload staged (every rank finished the previous collective)
+
+  // Prefix-doubling delivery mirroring the all-reduce pairing schedule
+  // (DESIGN.md §8): stage s reaches root-relative ranks [2^s, 2^(s+1)).
+  // The root ships each stage's frames just before that stage's sync
+  // point, so a dead peer releases the others at every tree depth.
+  const int rel = (rank - root + w) % w;
+  const int stages = allreduce_stages(w);
+  for (int s = 0; s < stages; ++s) {
+    const int lo = 1 << s;
+    const int hi = std::min(w, 1 << (s + 1));
+    if (rank == root) {
+      for (int target_rel = lo; target_rel < hi; ++target_rel) {
+        t.send((root + target_rel) % w, data, bytes);
+      }
+    } else if (rel >= lo && rel < hi) {
+      t.recv(root, data, bytes);
+    }
+    t.sync();  // delivery stage s complete
+  }
+}
+
+double scalar_sum(Transport& t, double value) {
+  const int w = t.world();
+  const int rank = t.rank();
+  double result = value;
+  std::vector<double> vals;
+  if (rank == 0) {
+    vals.resize(static_cast<std::size_t>(w));
+    vals[0] = value;
+    for (int q = 1; q < w; ++q) {
+      t.recv(q, &vals[static_cast<std::size_t>(q)], sizeof(double));
+    }
+  } else {
+    t.send(0, &value, sizeof(double));
+  }
+  t.sync();  // all values published at rank 0
+
+  if (rank == 0) {
+    // One accumulation site, strictly rank-ordered: every rank sees
+    // the same rounding on every transport.
+    double acc = 0.0;
+    for (int q = 0; q < w; ++q) acc += vals[static_cast<std::size_t>(q)];
+    result = acc;
+    for (int q = 1; q < w; ++q) t.send(q, &result, sizeof(double));
+  } else {
+    t.recv(0, &result, sizeof(double));
+  }
+  t.sync();  // sum distributed
+
+  t.sync();  // everyone read; mirrors the in-process scratch-reuse point
+  return result;
+}
+
+std::vector<double> allgather_scalar(Transport& t, double value) {
+  const int w = t.world();
+  const int rank = t.rank();
+  std::vector<double> result(static_cast<std::size_t>(w), 0.0);
+  result[static_cast<std::size_t>(rank)] = value;
+  for (int q = 0; q < w; ++q) {
+    if (q != rank) t.send(q, &value, sizeof(double));
+  }
+  for (int q = 0; q < w; ++q) {
+    if (q != rank) t.recv(q, &result[static_cast<std::size_t>(q)], sizeof(double));
+  }
+  t.sync();  // all values exchanged
+
+  t.sync();  // everyone copied; mirrors the in-process scratch-reuse point
+  return result;
+}
+
+void barrier(Transport& t) { t.sync(); }
+
+}  // namespace pgti::dist::alg

@@ -1,0 +1,90 @@
+// Transport-agnostic collective schedules (the "algorithm layer" of
+// the gloo-style algorithm/context split).
+//
+// Every collective here is a deterministic message-passing rewrite of
+// the schedules PRs 2-3 ran over shared memory, with two invariants
+// carried over unchanged:
+//
+//  1. Bit-identity.  All floating-point accumulation is LOCAL and
+//     strictly rank-ordered: tree_allreduce reduce-scatters contiguous
+//     ceil-chunks, and the owning rank adds the W staged contributions
+//     for its chunk through the fixed prefix-doubling stage schedule —
+//     stage s merges source ranks [2^s, 2^(s+1)) — so per-element
+//     addition order is 0..W-1 regardless of transport, thread
+//     schedule, or message arrival order.  The wire only ever moves
+//     bytes (memcpy semantics), so the result is bit-identical to a
+//     flat rank-ordered reduction on every backend (paper §5.3).
+//
+//  2. Sync-point counts.  Each collective passes through exactly the
+//     same number of global sync points as the in-process original —
+//     allreduce: allreduce_stages(w) + 3, broadcast: stages + 1,
+//     scalar sum: 3, allgather: 2, barrier: 1 — so the fault-injection
+//     sweeps in dist_test / dist_determinism_test / grad_overlap_test
+//     (which index faults by per-rank sync ordinal) hold on every
+//     transport, and a dying peer releases survivors at every tree
+//     depth.
+//
+// Deadlock freedom: within every exchange phase a rank posts ALL its
+// sends before its first recv, and Transport::send is non-blocking by
+// contract, so no cyclic wait exists; recvs then drain in ascending
+// rank order against per-edge FIFO delivery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/transport.h"
+
+namespace pgti::dist::alg {
+
+/// Reduce-stage count (tree depth) of one all-reduce at `world` ranks:
+/// ceil(log2(world)), and 1 for a single rank (the copy stage).
+int allreduce_stages(int world) noexcept;
+
+/// Sync points one all-reduce passes through: collective entry + input
+/// exchange + one per tree stage + reduced-chunk gather.
+int allreduce_sync_points(int world) noexcept;
+
+/// Sync points one broadcast passes through: payload staging + one per
+/// delivery stage (the tree mirrors allreduce_stages(world)).
+int broadcast_sync_points(int world) noexcept;
+
+/// Sync points of the remaining collectives (fault sweeps index these).
+constexpr int kScalarSumSyncPoints = 3;
+constexpr int kAllgatherSyncPoints = 2;
+constexpr int kBarrierSyncPoints = 1;
+
+/// Reusable scratch for tree_allreduce so the hot path (per-bucket
+/// gradient sync every step) allocates only on first use / growth.
+/// One per Communicator; collectives are serialized per rank, so no
+/// locking is needed.
+struct AllreduceScratch {
+  std::vector<float> staged;  ///< W slices of this rank's owned chunk
+  std::vector<float> chunk;   ///< the reduced chunk being accumulated
+};
+
+/// In-place sum (or mean) across ranks; identical bits on every rank
+/// and every transport.
+void tree_allreduce(Transport& t, float* data, std::int64_t n, bool mean,
+                    AllreduceScratch& scratch);
+
+/// Copies root's buffer into every other rank's buffer through the
+/// prefix-doubling tree: stage s delivers to root-relative ranks
+/// [2^s, 2^(s+1)).  Copies are bit-safe, so the tree costs no
+/// determinism; the stage schedule buys failure granularity (a sync
+/// point per depth), not parallelism.
+void tree_broadcast(Transport& t, float* data, std::int64_t n, int root);
+
+/// Rank-ordered scalar sum: rank 0 gathers every value, accumulates in
+/// rank order 0..W-1 (one rounding order, every transport), and
+/// distributes the result.
+double scalar_sum(Transport& t, double value);
+
+/// Every rank's value, ordered by rank.
+std::vector<double> allgather_scalar(Transport& t, double value);
+
+/// Blocks until every live rank arrives (throws PeerFailureError if a
+/// peer died instead).
+void barrier(Transport& t);
+
+}  // namespace pgti::dist::alg

@@ -1,119 +1,93 @@
 #include "dist/comm.h"
 
-#include <algorithm>
-#include <cstring>
-#include <string>
 #include <thread>
 #include <utility>
 
 namespace pgti::dist {
 
-int Communicator::world() const noexcept { return cluster_->world_; }
+void Communicator::allreduce(float* data, std::int64_t n, bool mean) {
+  alg::tree_allreduce(*transport_, data, n, mean, scratch_);
+  if (rank() == 0) {
+    {
+      std::lock_guard<std::mutex> lk(context_->mu_);
+      ++context_->stats_.allreduce_count;
+      context_->stats_.allreduce_bytes +=
+          static_cast<std::uint64_t>(n) * sizeof(float) *
+          static_cast<std::uint64_t>(world());
+    }
+    context_->sim_clock_.add(context_->network_.allreduce_seconds(
+        n * static_cast<std::int64_t>(sizeof(float)), world()));
+  }
+}
 
 void Communicator::allreduce_sum(float* data, std::int64_t n) {
-  cluster_->allreduce(data, n, rank_, /*mean=*/false);
+  allreduce(data, n, /*mean=*/false);
 }
 
 void Communicator::allreduce_mean(float* data, std::int64_t n) {
-  cluster_->allreduce(data, n, rank_, /*mean=*/true);
+  allreduce(data, n, /*mean=*/true);
 }
 
 double Communicator::allreduce_scalar_sum(double value) {
-  Cluster& c = *cluster_;
-  c.double_slots_[static_cast<std::size_t>(rank_)] = value;
-  c.sync_point(rank_);  // all values published
-  if (rank_ == 0) {
-    double acc = 0.0;
-    for (int r = 0; r < c.world_; ++r) {
-      acc += c.double_slots_[static_cast<std::size_t>(r)];
-    }
-    c.scalar_result_ = acc;
+  const double result = alg::scalar_sum(*transport_, value);
+  if (rank() == 0) {
     {
-      std::lock_guard<std::mutex> lk(c.mu_);
-      ++c.stats_.allreduce_count;
-      c.stats_.allreduce_bytes +=
-          static_cast<std::uint64_t>(c.world_) * sizeof(double);
+      std::lock_guard<std::mutex> lk(context_->mu_);
+      ++context_->stats_.allreduce_count;
+      context_->stats_.allreduce_bytes +=
+          static_cast<std::uint64_t>(world()) * sizeof(double);
     }
-    c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
+    context_->sim_clock_.add(
+        context_->network_.allreduce_seconds(sizeof(double), world()));
   }
-  c.sync_point(rank_);  // sum ready
-  const double result = c.scalar_result_;
-  c.sync_point(rank_);  // everyone read; scratch reusable
   return result;
 }
 
 std::vector<double> Communicator::allgather(double value) {
-  Cluster& c = *cluster_;
-  c.double_slots_[static_cast<std::size_t>(rank_)] = value;
-  c.sync_point(rank_);  // all values published
-  std::vector<double> result(c.double_slots_.begin(), c.double_slots_.end());
-  if (rank_ == 0) {
+  std::vector<double> result = alg::allgather_scalar(*transport_, value);
+  if (rank() == 0) {
     {
-      std::lock_guard<std::mutex> lk(c.mu_);
-      ++c.stats_.allgather_count;
+      std::lock_guard<std::mutex> lk(context_->mu_);
+      ++context_->stats_.allgather_count;
+      context_->stats_.allgather_bytes +=
+          static_cast<std::uint64_t>(sizeof(double)) *
+          static_cast<std::uint64_t>(world()) *
+          static_cast<std::uint64_t>(world() - 1);
     }
-    c.sim_clock_.add(c.network_.allreduce_seconds(sizeof(double), c.world_));
+    context_->sim_clock_.add(
+        context_->network_.allreduce_seconds(sizeof(double), world()));
   }
-  c.sync_point(rank_);  // everyone copied; scratch reusable
   return result;
 }
 
 void Communicator::broadcast(float* data, std::int64_t n, int root) {
-  Cluster& c = *cluster_;
-  if (root < 0 || root >= c.world_) {
-    throw std::invalid_argument("broadcast: root " + std::to_string(root) +
-                                " outside [0, " + std::to_string(c.world_) + ")");
-  }
-  const std::size_t count = static_cast<std::size_t>(n);
-  if (rank_ == root) {
-    // Safe pre-sync: every rank passed the previous collective's final
-    // sync point before any rank could enter this one.  Staging the
-    // payload in cluster-owned memory means delivery stages never read
-    // the root caller's (unwindable) buffer.
-    c.bcast_buf_.resize(count);
-    std::memcpy(c.bcast_buf_.data(), data, count * sizeof(float));
+  alg::tree_broadcast(*transport_, data, n, root);
+  if (rank() == root) {
     {
-      std::lock_guard<std::mutex> lk(c.mu_);
-      ++c.stats_.broadcast_count;
-      c.stats_.broadcast_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
-                                  static_cast<std::uint64_t>(c.world_ - 1);
+      std::lock_guard<std::mutex> lk(context_->mu_);
+      ++context_->stats_.broadcast_count;
+      context_->stats_.broadcast_bytes +=
+          static_cast<std::uint64_t>(n) * sizeof(float) *
+          static_cast<std::uint64_t>(world() - 1);
     }
-    c.sim_clock_.add(c.network_.allreduce_seconds(
-        n * static_cast<std::int64_t>(sizeof(float)), c.world_));
-  }
-  c.sync_point(rank_);  // payload staged
-
-  // Prefix-doubling delivery mirroring the all-reduce pairing schedule
-  // (DESIGN.md §8): stage s reaches root-relative ranks [2^s, 2^(s+1)).
-  // As with the all-reduce tree, the stage schedule buys failure
-  // granularity — each stage ends in a sync point, so a dead peer
-  // releases the others at every tree depth — not parallelism; copies
-  // cannot perturb float bits, so the result is identical to the flat
-  // root-to-all copy.
-  const int rel = (rank_ - root + c.world_) % c.world_;
-  const int stages = Cluster::allreduce_stages(c.world_);
-  for (int s = 0; s < stages; ++s) {
-    if (rel >= (1 << s) && rel < (1 << (s + 1))) {
-      std::memcpy(data, c.bcast_buf_.data(), count * sizeof(float));
-    }
-    c.sync_point(rank_);  // delivery stage s complete
+    context_->sim_clock_.add(context_->network_.allreduce_seconds(
+        n * static_cast<std::int64_t>(sizeof(float)), world()));
   }
 }
 
 void Communicator::barrier() {
-  Cluster& c = *cluster_;
-  if (rank_ == 0) {
-    std::lock_guard<std::mutex> lk(c.mu_);
-    ++c.stats_.barrier_count;
+  alg::barrier(*transport_);
+  if (rank() == 0) {
+    std::lock_guard<std::mutex> lk(context_->mu_);
+    ++context_->stats_.barrier_count;
+    context_->stats_.barrier_bytes +=
+        2u * static_cast<std::uint64_t>(world() - 1) * frame::kHeaderBytes;
   }
-  c.sync_point(rank_);
 }
 
 Cluster::Cluster(int world, NetworkModel network)
-    : world_(world), network_(network) {
+    : world_(world), context_(network), hub_(world) {
   if (world < 1) throw std::invalid_argument("Cluster: world must be >= 1");
-  double_slots_.assign(static_cast<std::size_t>(world), 0.0);
-  sync_seen_.assign(static_cast<std::size_t>(world), 0);
 }
 
 void Cluster::inject_fault_at_sync_point(int rank, std::uint64_t nth,
@@ -121,177 +95,55 @@ void Cluster::inject_fault_at_sync_point(int rank, std::uint64_t nth,
   if (rank < 0 || rank >= world_) {
     throw std::invalid_argument("inject_fault_at_sync_point: bad rank");
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  fault_rank_ = rank;
-  fault_at_ = nth;
-  fault_message_ = std::move(message);
+  hub_.arm_fault(rank, nth, std::move(message));
 }
 
 void Cluster::run(const std::function<void(Communicator&)>& fn) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    arrived_ = 0;
-    generation_ = 0;
-    failed_ = false;
-    first_error_ = nullptr;
-    first_error_is_peer_failure_ = false;
-    std::fill(double_slots_.begin(), double_slots_.end(), 0.0);
-    std::fill(sync_seen_.begin(), sync_seen_.end(), 0);
-    // Modeled time is per-run; traffic stats accumulate across runs.
-    sim_clock_.reset();
-  }
+  hub_.reset_for_run();
+  // Modeled time is per-run; traffic stats accumulate across runs.
+  context_.reset_clock();
+
+  // Error collection lives in the harness, not the transport: the
+  // first non-peer-failure error wins, and the hub's failure flag is
+  // raised (releasing blocked peers) only after the error is recorded.
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  bool first_error_is_peer_failure = false;
+  auto record_failure = [&](std::exception_ptr error, bool is_peer_failure) {
+    std::lock_guard<std::mutex> lk(err_mu);
+    if (!first_error || (first_error_is_peer_failure && !is_peer_failure)) {
+      first_error = error;
+      first_error_is_peer_failure = is_peer_failure;
+    }
+  };
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(world_));
   for (int r = 0; r < world_; ++r) {
-    workers.emplace_back([this, r, &fn] {
-      Communicator comm(*this, r);
+    workers.emplace_back([this, r, &fn, &record_failure] {
+      InProcessTransport endpoint(hub_, r);
+      Communicator comm(endpoint, context_);
       try {
         fn(comm);
       } catch (const PeerFailureError&) {
         // Secondary casualty: keep unwinding, but never let it mask the
         // peer's original error.
         record_failure(std::current_exception(), /*is_peer_failure=*/true);
+        endpoint.shutdown();
       } catch (...) {
         record_failure(std::current_exception(), /*is_peer_failure=*/false);
+        endpoint.shutdown();
       }
     });
   }
   for (std::thread& t : workers) t.join();
 
-  std::exception_ptr error;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    error = first_error_;
-    // Injected faults are one-shot: disarm so a reused Cluster's next
-    // run() (a supported pattern, e.g. a recovery pass after a
-    // fault-injection pass) does not deterministically re-throw.
-    fault_rank_ = -1;
-  }
-  if (error) std::rethrow_exception(error);
-}
+  // Injected faults are one-shot: disarm so a reused Cluster's next
+  // run() (a supported pattern, e.g. a recovery pass after a
+  // fault-injection pass) does not deterministically re-throw.
+  hub_.arm_fault(-1, 0, std::string());
 
-CommStats Cluster::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
-}
-
-void Cluster::sync_point(int rank) {
-  // Per-rank sync counting feeds the deterministic fault injection the
-  // failure-depth tests use; each slot is touched only by its rank.
-  const std::uint64_t seen = sync_seen_[static_cast<std::size_t>(rank)]++;
-  if (rank == fault_rank_ && seen == fault_at_) {
-    throw std::runtime_error(fault_message_);
-  }
-  std::unique_lock<std::mutex> lk(mu_);
-  if (failed_) throw PeerFailureError();
-  if (++arrived_ == world_) {
-    arrived_ = 0;
-    ++generation_;
-    cv_.notify_all();
-    return;
-  }
-  const std::uint64_t gen = generation_;
-  cv_.wait(lk, [&] { return failed_ || generation_ != gen; });
-  // A completed generation outranks a failure flag raised afterwards:
-  // the collective finished; the failure surfaces at the next entry.
-  if (generation_ == gen) throw PeerFailureError();
-}
-
-void Cluster::record_failure(std::exception_ptr error, bool is_peer_failure) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!first_error_ || (first_error_is_peer_failure_ && !is_peer_failure)) {
-    first_error_ = error;
-    first_error_is_peer_failure_ = is_peer_failure;
-  }
-  failed_ = true;
-  cv_.notify_all();
-}
-
-int Cluster::allreduce_stages(int world) noexcept {
-  // Prefix-doubling: after stage s every chunk holds the rank-ordered
-  // sum of ranks [0, min(2^(s+1), world)).  ceil(log2(world)) stages;
-  // a single rank still runs one (copy) stage.
-  int stages = 1;
-  while ((std::int64_t{1} << stages) < world) ++stages;
-  return stages;
-}
-
-int Cluster::allreduce_sync_points(int world) noexcept {
-  // scratch sizing + input staging + one per tree stage + final gather.
-  return allreduce_stages(world) + 3;
-}
-
-int Cluster::broadcast_sync_points(int world) noexcept {
-  // payload staging + one per delivery stage.
-  return allreduce_stages(world) + 1;
-}
-
-void Cluster::allreduce(float* data, std::int64_t n, int rank, bool mean) {
-  const std::size_t count = static_cast<std::size_t>(n);
-  if (rank == 0) {
-    // Safe pre-sync: every rank passed the previous collective's final
-    // sync point before any rank could enter this one, so nobody is
-    // still touching the scratch buffers.
-    input_buf_.resize(count * static_cast<std::size_t>(world_));
-    reduce_buf_.resize(count);
-  }
-  sync_point(rank);  // scratch sized
-
-  // Stage the input in cluster-owned memory: tree stages only ever
-  // read input_buf_/reduce_buf_, so a rank unwinding mid-collective
-  // (PeerFailureError, injected fault) cannot invalidate memory a
-  // surviving peer still reads.
-  std::memcpy(input_buf_.data() + count * static_cast<std::size_t>(rank), data,
-              count * sizeof(float));
-  sync_point(rank);  // all inputs staged
-
-  // Reduce-scatter layout: this rank owns one contiguous element chunk
-  // and accumulates every rank's contribution for it.  Per-element
-  // addition order is strictly rank 0..W-1 regardless of how stages
-  // split the work, so the result is bit-identical to a flat
-  // rank-ordered reduction and invariant to thread scheduling; the W
-  // chunks reduce in parallel.
-  const std::int64_t chunk = (n + world_ - 1) / world_;
-  const std::int64_t clo = std::min<std::int64_t>(chunk * rank, n);
-  const std::int64_t chi = std::min<std::int64_t>(clo + chunk, n);
-  float* out = reduce_buf_.data();
-
-  const int stages = allreduce_stages(world_);
-  for (int s = 0; s < stages; ++s) {
-    // Fixed pairing schedule: stage s merges source ranks
-    // [2^s, 2^(s+1)) into the accumulated prefix [0, 2^s) (stage 0
-    // also seeds the chunk with rank 0's input).
-    const int src_begin = s == 0 ? 0 : 1 << s;
-    const int src_end = std::min(world_, 1 << (s + 1));
-    for (int r = src_begin; r < src_end; ++r) {
-      const float* src = input_buf_.data() + count * static_cast<std::size_t>(r);
-      if (r == 0) {
-        std::memcpy(out + clo, src + clo,
-                    static_cast<std::size_t>(chi - clo) * sizeof(float));
-      } else {
-        for (std::int64_t i = clo; i < chi; ++i) out[i] += src[i];
-      }
-    }
-    if (s + 1 == stages && mean) {
-      const float inv = 1.0f / static_cast<float>(world_);
-      for (std::int64_t i = clo; i < chi; ++i) out[i] *= inv;
-    }
-    sync_point(rank);  // tree stage s complete on every chunk
-  }
-
-  if (rank == 0) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.allreduce_count;
-      stats_.allreduce_bytes += static_cast<std::uint64_t>(n) * sizeof(float) *
-                                static_cast<std::uint64_t>(world_);
-    }
-    sim_clock_.add(network_.allreduce_seconds(
-        n * static_cast<std::int64_t>(sizeof(float)), world_));
-  }
-  std::memcpy(data, out, count * sizeof(float));
-  sync_point(rank);  // everyone gathered; scratch reusable
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pgti::dist

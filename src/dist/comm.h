@@ -1,27 +1,28 @@
-// In-process distributed runtime: W worker threads + collectives.
+// Distributed runtime: deterministic collectives over pluggable
+// transports.
 //
-// Cluster::run spawns one thread per rank and hands each a
-// Communicator.  allreduce_{sum,mean} executes a deterministic tree
-// all-reduce (reduce-scatter over contiguous element chunks + shared
-// gather): every rank owns ~n/W elements and accumulates all W
-// contributions for them through a fixed prefix-doubling stage
-// schedule — stage s adds source ranks [2^s, 2^(s+1)) — so per-element
-// accumulation is strictly rank-ordered 0..W-1.  The result is
-// therefore a pure function of the inputs: bit-identical to a flat
-// rank-ordered reduction, identical across runs, thread schedules, and
-// world sizes (including non-powers-of-two), which is what makes
-// W-worker training reproduce single-worker training exactly (paper
-// §5.3's "identical accuracy" claim depends on it).  Unlike the flat
-// reduction, the W chunks reduce in parallel.
+// The stack has three layers (DESIGN.md §15):
+//
+//   dist/algorithms.h   — transport-agnostic tree schedules.  Stage
+//                         order and accumulation order live here, so
+//                         results are bit-identical on every backend
+//                         (paper §5.3's "identical accuracy" claim).
+//   dist/transport.h    — the wire: framed send/recv + sync points
+//                         with PeerFailureError semantics.  Two
+//                         implementations: InProcessTransport (thread
+//                         mailboxes, this file's Cluster) and
+//                         SocketTransport (TCP full mesh, ranks as
+//                         separate OS processes; transport_socket.h).
+//   Communicator        — the per-rank API the trainers use.  Binds a
+//                         Transport endpoint to a shared CommContext
+//                         (traffic stats + modeled-time clock) and
+//                         runs the algorithm layer.
 //
 // Failure semantics mirror a well-behaved NCCL + torchrun stack: when
 // any worker throws, peers blocked in a collective are released with
 // PeerFailureError instead of deadlocking — at EVERY tree stage, since
 // each stage ends in a sync point — the cluster unwinds, and run()
-// rethrows the ORIGINAL worker exception.  All-reduce inputs are
-// staged into cluster-owned memory before any stage runs, so an
-// unwinding rank can never invalidate a buffer a surviving peer still
-// reads.
+// rethrows the ORIGINAL worker exception.
 //
 // Wall-clock is measured; network time is *modeled*: each collective
 // charges its ring-all-reduce cost (NetworkModel) to a SimClock, so
@@ -31,7 +32,6 @@
 // SimClock so back-to-back runs report independent modeled times).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -40,37 +40,91 @@
 #include <string>
 #include <vector>
 
+#include "dist/algorithms.h"
 #include "dist/cluster_model.h"
+#include "dist/transport.h"
+#include "dist/transport_inprocess.h"
 #include "runtime/timer.h"
 
 namespace pgti::dist {
 
-/// Collective-traffic ledger (what DistResult reports).
+/// Collective-traffic ledger (what DistResult reports).  Every
+/// collective counts symmetrically: calls plus the payload bytes that
+/// cross rank boundaries.
 struct CommStats {
   std::uint64_t allreduce_count = 0;
   std::uint64_t allreduce_bytes = 0;  ///< summed over all ranks' buffers
   std::uint64_t broadcast_count = 0;
-  std::uint64_t broadcast_bytes = 0;
+  std::uint64_t broadcast_bytes = 0;  ///< payload x (world - 1) receivers
   std::uint64_t allgather_count = 0;
+  /// Payload bytes crossing rank boundaries per allgather: each rank's
+  /// value delivered to the other world-1 ranks (0 at world == 1).
+  std::uint64_t allgather_bytes = 0;
   std::uint64_t barrier_count = 0;
+  /// Barrier traffic: a barrier moves no payload, so its cost is the
+  /// sync-point control frames — world-1 ARRIVE plus world-1 RELEASE
+  /// frames of frame::kHeaderBytes each (what SocketTransport puts on
+  /// the wire; the in-process backend ledgers the same number so the
+  /// stats are transport-invariant).
+  std::uint64_t barrier_bytes = 0;
 };
 
-/// Thrown inside surviving workers when a peer dies mid-collective.
-/// Cluster::run swallows these in favour of the peer's original error.
-class PeerFailureError : public std::runtime_error {
+/// Shared model/ledger facade behind every Communicator of one
+/// cluster: the NetworkModel, the modeled-time SimClock, and the
+/// traffic stats.  In-process, one CommContext is shared by all W
+/// ranks; in multi-process socket runs each rank process owns its own
+/// (rank 0's is the one a DistResult reports, and since stats are
+/// charged by rank 0 only, the view is identical).
+///
+/// Thread-safety: stats_ is guarded by mu_; sim_clock is a lock-free
+/// atomic accumulator (runtime/timer.h), so charge_seconds is safe
+/// from per-rank comm threads and the main thread concurrently —
+/// dist_transport_test hammers it under TSan.
+class CommContext {
  public:
-  PeerFailureError()
-      : std::runtime_error("peer worker failed; collective aborted") {}
+  explicit CommContext(NetworkModel network = NetworkModel{})
+      : network_(network) {}
+
+  const NetworkModel& network() const noexcept { return network_; }
+
+  /// Adds externally modeled time (e.g. DistStore fetches) to the
+  /// communication clock.  Thread-safe (atomic accumulate).
+  void charge_seconds(double seconds) { sim_clock_.add(seconds); }
+
+  /// Modeled communication seconds since the last reset_clock().
+  double modeled_seconds() const { return sim_clock_.seconds(); }
+
+  /// Modeled time is per-run; traffic stats accumulate across runs.
+  void reset_clock() { sim_clock_.reset(); }
+
+  CommStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  friend class Communicator;
+
+  NetworkModel network_;
+  SimClock sim_clock_;
+  mutable std::mutex mu_;
+  CommStats stats_;
 };
 
-class Cluster;
-
-/// Per-rank handle passed to the worker function.  All collectives must
-/// be entered by every rank of the cluster (standard SPMD contract).
+/// Per-rank handle passed to the worker function: binds one Transport
+/// endpoint to the shared CommContext and runs the algorithm layer.
+/// All collectives must be entered by every rank of the cluster
+/// (standard SPMD contract); only one thread per rank may sit in a
+/// collective at a time (see dist/transport.h).
 class Communicator {
  public:
-  int rank() const noexcept { return rank_; }
-  int world() const noexcept;
+  Communicator(Transport& transport, CommContext& context)
+      : transport_(&transport), context_(&context) {}
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const noexcept { return transport_->rank(); }
+  int world() const noexcept { return transport_->world(); }
 
   /// In-place sum across ranks; identical bits on every rank.
   void allreduce_sum(float* data, std::int64_t n);
@@ -91,16 +145,24 @@ class Communicator {
   /// a peer died instead).
   void barrier();
 
- private:
-  friend class Cluster;
-  Communicator(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+  /// The shared model/ledger facade (modeled-time plumbing for code
+  /// that holds only a Communicator, e.g. DistTrainer rank bodies in
+  /// multi-process runs).
+  const NetworkModel& network() const noexcept { return context_->network(); }
+  void charge_seconds(double seconds) { context_->charge_seconds(seconds); }
+  const CommContext& context() const noexcept { return *context_; }
 
-  Cluster* cluster_;
-  int rank_;
+ private:
+  void allreduce(float* data, std::int64_t n, bool mean);
+
+  Transport* transport_;
+  CommContext* context_;
+  alg::AllreduceScratch scratch_;
 };
 
 /// W thread-backed workers sharing one address space — the test- and
-/// bench-scale stand-in for a multi-GPU job.  Reusable: each run()
+/// bench-scale stand-in for a multi-GPU job, now one InProcessTransport
+/// endpoint per rank over a shared mailbox hub.  Reusable: each run()
 /// resets failure state and the modeled-time clock; traffic stats
 /// accumulate across runs.
 class Cluster {
@@ -113,23 +175,29 @@ class Cluster {
   void run(const std::function<void(Communicator&)>& fn);
 
   int world() const noexcept { return world_; }
-  const NetworkModel& network() const noexcept { return network_; }
+  const NetworkModel& network() const noexcept { return context_.network(); }
 
   /// Reduce-stage count (tree depth) of one all-reduce at `world`
   /// ranks: ceil(log2(world)), and 1 for a single rank (the copy
   /// stage).  Stage s accumulates source ranks [2^s, 2^(s+1)).
-  static int allreduce_stages(int world) noexcept;
+  static int allreduce_stages(int world) noexcept {
+    return alg::allreduce_stages(world);
+  }
 
-  /// Internal sync points one all-reduce passes through (scratch
-  /// sizing + input staging + one per tree stage + final gather).
+  /// Internal sync points one all-reduce passes through (collective
+  /// entry + input exchange + one per tree stage + final gather).
   /// Peers must be releasable by PeerFailureError at every one of
   /// them; tests/dist_determinism_test.cpp sweeps them all.
-  static int allreduce_sync_points(int world) noexcept;
+  static int allreduce_sync_points(int world) noexcept {
+    return alg::allreduce_sync_points(world);
+  }
 
   /// Internal sync points one broadcast passes through (payload
   /// staging + one per delivery stage); the tree mirrors
   /// allreduce_stages(world).  tests/dist_test.cpp sweeps them all.
-  static int broadcast_sync_points(int world) noexcept;
+  static int broadcast_sync_points(int world) noexcept {
+    return alg::broadcast_sync_points(world);
+  }
 
   /// Deterministic fault injection for failure-semantics tests: worker
   /// `rank` throws std::runtime_error(message) upon entering its `nth`
@@ -137,68 +205,33 @@ class Cluster {
   /// a test park peers at any internal tree stage of a collective.
   /// One-shot: the injection arms the NEXT run() only; run() disarms
   /// it on completion so a reused Cluster can recover.
-  /// Inputs are staged into cluster-owned memory before the reduction,
-  /// so a rank unwinding mid-collective can never invalidate memory a
-  /// surviving peer still reads.
+  /// Collective inputs are staged out of caller buffers before any
+  /// stage runs (transport send-copies + algorithm scratch), so a rank
+  /// unwinding mid-collective can never invalidate memory a surviving
+  /// peer still reads.
   void inject_fault_at_sync_point(int rank, std::uint64_t nth, std::string message);
 
   /// Collective-traffic totals so far.
-  CommStats stats() const;
+  CommStats stats() const { return context_.stats(); }
 
   /// Modeled communication seconds of the current/most recent run
   /// (collectives plus anything charged via charge_seconds).
-  double modeled_comm_seconds() const { return sim_clock_.seconds(); }
+  double modeled_comm_seconds() const { return context_.modeled_seconds(); }
 
   /// Adds externally modeled time (e.g. DistStore fetches) to the
-  /// communication clock.
-  void charge_seconds(double seconds) { sim_clock_.add(seconds); }
+  /// communication clock.  Thread-safe: SimClock accumulates with an
+  /// atomic CAS loop, so per-rank comm threads and the main thread may
+  /// charge concurrently (see runtime/timer.h).
+  void charge_seconds(double seconds) { context_.charge_seconds(seconds); }
+
+  /// The shared model/ledger facade (for harnesses that construct
+  /// their own Communicators over other transports).
+  CommContext& context() noexcept { return context_; }
 
  private:
-  friend class Communicator;
-
-  /// Sense-reversing barrier; throws PeerFailureError once failed_.
-  /// `rank` identifies the arriving worker (fault injection + per-rank
-  /// sync counting).
-  void sync_point(int rank);
-  /// Records a worker exception and releases ranks blocked in sync_point.
-  void record_failure(std::exception_ptr error, bool is_peer_failure);
-
-  void allreduce(float* data, std::int64_t n, int rank, bool mean);
-
   int world_;
-  NetworkModel network_;
-  SimClock sim_clock_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
-  bool failed_ = false;
-  std::exception_ptr first_error_;
-  bool first_error_is_peer_failure_ = false;
-
-  // Fault injection (test-only); fault_rank_ == -1 means disabled.
-  int fault_rank_ = -1;
-  std::uint64_t fault_at_ = 0;
-  std::string fault_message_;
-  // Per-rank sync-point counter.  Only one thread per rank may sit in
-  // a collective at a time; when OverlappedGradBucket hands collectives
-  // to a comm thread, its drain/flush mutex orders the handoff, so the
-  // counter stays race-free and the fault-injection `nth` deterministic.
-  std::vector<std::uint64_t> sync_seen_;
-
-  // Collective scratch state, valid between sync points.  input_buf_
-  // holds every rank's staged all-reduce input so tree stages never
-  // read a caller's (unwindable) buffer; reduce_buf_ holds the chunks
-  // being reduced; bcast_buf_ holds the root's staged broadcast
-  // payload, so delivery stages never read a caller's buffer either.
-  std::vector<double> double_slots_;
-  std::vector<float> input_buf_;
-  std::vector<float> reduce_buf_;
-  std::vector<float> bcast_buf_;
-  double scalar_result_ = 0.0;
-
-  CommStats stats_;
+  CommContext context_;
+  InProcessHub hub_;
 };
 
 }  // namespace pgti::dist

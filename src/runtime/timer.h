@@ -31,6 +31,19 @@ class WallTimer {
 };
 
 /// Thread-safe accumulator of modeled time, in seconds.
+///
+/// Atomicity guarantee: add() is a lock-free CAS loop on one
+/// std::atomic<double>, so concurrent charges from any number of
+/// threads are each applied exactly once — no lost updates, no torn
+/// reads — and Cluster::charge_seconds / Communicator::charge_seconds
+/// are safe to call from per-rank comm threads (OverlappedGradBucket),
+/// prefetch staging threads, and the main thread simultaneously.  The
+/// accumulated value can depend on arrival order only through
+/// floating-point non-associativity; callers that assert exact totals
+/// (tests/dist_transport_test.cpp's TSan-covered hammer) use
+/// dyadic-rational increments, for which addition is exact in any
+/// order.  seconds()/reset() are single atomic ops; reset() is only
+/// called from run() entry points while no charger is live.
 class SimClock {
  public:
   void add(double seconds) {
