@@ -9,13 +9,24 @@
 // be pushed toward fidelity on bigger machines.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/pgt_i.h"
+#include "runtime/memory_tracker.h"
 
 namespace pgti::bench {
+
+/// Tracker-charged heap allocations so far (process-wide, all spaces).
+/// Diff around a region to count its real heap traffic; pool hits from
+/// the tensor arena and workspace-cache reuses are excluded by
+/// construction (DESIGN.md §16), so the delta is the allocs-per-
+/// iteration column the kernel benches print.
+inline std::uint64_t heap_allocs() {
+  return MemoryTracker::instance().heap_allocs_total();
+}
 
 inline double env_double(const char* name, double fallback) {
   if (const char* v = std::getenv(name)) {

@@ -23,7 +23,12 @@
 #                  ready-bucket all-reduces under backward, including
 #                  the mid-backward fault-injection sweep), and
 #                  kernel_fusion_test (the threaded blocked/fused
-#                  kernels and their parallel_for partitioning).
+#                  kernels and their parallel_for partitioning), and
+#                  arena_test (step-scoped pool recycling under the
+#                  prefetch pipeline; under ASan the arena poisons
+#                  recycled blocks between leases, so stale reads of
+#                  pooled memory fault instead of silently reusing
+#                  bits).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,6 +43,15 @@ echo
 echo "== multi-process smoke: socket transport (forked ranks, world=4) vs in-process =="
 "${build_dir}/examples/socket_ddp" --smoke
 
+echo
+echo "== alloc-free steady state gate: train step heap allocs must be 0 =="
+# Re-runs the arena suite's trainer-level assertions standalone so a
+# regression that reintroduces per-step heap traffic (a kernel
+# bypassing the workspace cache, a tensor allocated outside the step
+# scope) fails the gate by name even if someone trims the ctest label.
+"${build_dir}/arena_test" \
+  --gtest_filter='ArenaTrainer.SteadyStateTrainStepIsAllocFree:WorkspaceCache.MatmulNtScratchOneAllocationAcross100BackwardSteps'
+
 sanitize="${PGTI_SANITIZE:-}"
 if [ -n "${sanitize}" ]; then
   case "${sanitize}" in
@@ -47,9 +61,9 @@ if [ -n "${sanitize}" ]; then
        exit 1 ;;
   esac
   echo
-  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap + kernel_fusion suites) in ${san_dir} =="
+  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap + kernel_fusion + arena suites) in ${san_dir} =="
   cmake -B "${san_dir}" -S "${repo_root}" -DPGTI_SANITIZE="${sanitize}" -DPGTI_WERROR=ON
   cmake --build "${san_dir}" -j "${jobs}"
   ctest --test-dir "${san_dir}" --output-on-failure -j "${jobs}" -L tier1 \
-        -R '^(dist_|epoch_engine|grad_overlap|kernel_fusion)'
+        -R '^(dist_|epoch_engine|grad_overlap|kernel_fusion|arena)'
 fi

@@ -34,34 +34,6 @@ float* grad_data(const ImplPtr& impl) {
   return impl->grad.data();
 }
 
-// dz = g ⊙ act'(y) evaluated from the saved output y, with the exact
-// per-element expressions of the unfused sigmoid/tanh/relu backwards
-// (so fused gradients match the reference composition bit-for-bit).
-// Identity aliases g — no copy.
-Tensor act_backward(const Tensor& g, const Tensor& y, ops::Act act) {
-  if (act == ops::Act::kIdentity) return g;
-  Tensor dz = Tensor::empty(y.shape(), y.space());
-  const float* py = y.data();
-  const float* pg = g.data();
-  float* pd = dz.data();
-  parallel_for(0, y.numel(), 16384, [&](std::int64_t lo, std::int64_t hi) {
-    switch (act) {
-      case ops::Act::kSigmoid:
-        for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * py[i] * (1.0f - py[i]);
-        break;
-      case ops::Act::kTanh:
-        for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * (1.0f - py[i] * py[i]);
-        break;
-      case ops::Act::kRelu:
-        for (std::int64_t i = lo; i < hi; ++i) pd[i] = py[i] > 0.0f ? pg[i] : 0.0f;
-        break;
-      case ops::Act::kIdentity:
-        break;
-    }
-  });
-  return dz;
-}
-
 }  // namespace
 
 Variable add(const Variable& a, const Variable& b) {
@@ -172,8 +144,17 @@ Variable matmul_bias_act(const Variable& a, const Variable& w, const Variable& b
   Tensor va = a.value(), vw = w.value();
   Tensor y = ops::matmul_bias_act(va, vw, bias.value(), act);
   return Variable::make_node(y, {a, w, bias}, [ia, iw, ib, va, vw, y, act](Impl& node) {
-    Tensor dz = act_backward(node.grad, y, act);
-    Variable::accumulate(ia, ops::matmul_nt(dz, vw));
+    if (act == ops::Act::kIdentity) {
+      // No epilogue to fuse: dz aliases the incoming gradient.
+      Variable::accumulate(ia, ops::matmul_nt(node.grad, vw));
+      Variable::accumulate(iw, ops::matmul_tn(va, node.grad));
+      Variable::accumulate(ib, ops::colsum(node.grad));
+      return;
+    }
+    // Fused backward epilogue: act' and the NT gemm in one dispatch;
+    // dz stays materialized for the tn/colsum accumulations.
+    Tensor dz = Tensor::empty(y.shape(), y.space());
+    Variable::accumulate(ia, ops::matmul_nt_act_backward(node.grad, y, act, vw, dz));
     Variable::accumulate(iw, ops::matmul_tn(va, dz));
     Variable::accumulate(ib, ops::colsum(dz));
   });
@@ -186,7 +167,7 @@ Variable spmm_bias_act(const Csr& p, const Csr& p_transpose, const Variable& x,
   Tensor y = p.spmm_bias_act(x.value(), bias.value(), act);
   Csr pt = p_transpose;
   return Variable::make_node(y, {x, bias}, [ix, ib, y, pt, batched, act](Impl& node) {
-    Tensor dz = act_backward(node.grad, y, act);
+    Tensor dz = ops::act_backward(node.grad, y, act);
     Variable::accumulate(ix, batched ? pt.spmm_batched(dz) : pt.spmm(dz));
     Variable::accumulate(ib, ops::colsum(dz));
   });

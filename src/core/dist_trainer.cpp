@@ -284,6 +284,7 @@ void rank_main(dist::Communicator& comm, const RankShared& sh,
     } else {
       out.result->grad_sync_exposed_seconds = serial_sync_seconds;
     }
+    out.result->allocs_last_step = engine.allocs_last_step();
   }
   comm.barrier();
 }

@@ -59,7 +59,14 @@ EpochEngine::EpochSums EpochEngine::train_epoch(BatchPipeline& pipe, int epoch,
   pipe.start_epoch(epoch, max_steps);
   EpochSums sums;
   data::Batch batch;
-  while ((max_steps < 0 || sums.batches < max_steps) && pipe.next(batch)) {
+  auto& tracker = MemoryTracker::instance();
+  while (max_steps < 0 || sums.batches < max_steps) {
+    // The scope opens before batch delivery so synchronous batch
+    // assembly recycles pool blocks too; it closes (and returns the
+    // step's tape to the pool) before the loss leaves the iteration.
+    runtime::ArenaScope scope(arena_);
+    const std::uint64_t heap_before = tracker.heap_allocs_total();
+    if (!pipe.next(batch)) break;
     account_staging(batch, pipe.prefetching());
     std::vector<Variable> outputs = model_->forward_seq(batch.x);
     Variable loss = seq_loss(outputs, batch.y);
@@ -67,6 +74,7 @@ EpochEngine::EpochSums EpochEngine::train_epoch(BatchPipeline& pipe, int epoch,
     loss.backward(hooks_.grad_observer);
     if (hooks_.sync_gradients) hooks_.sync_gradients();
     opt_->step();
+    allocs_last_step_ = tracker.heap_allocs_total() - heap_before;
     sums.sum += static_cast<double>(loss.value().item());
     ++sums.batches;
     if (hooks_.on_train_step) hooks_.on_train_step(epoch, sums.batches);
@@ -80,7 +88,9 @@ EpochEngine::EpochSums EpochEngine::eval_epoch(BatchPipeline& pipe,
   pipe.start_epoch(0, max_batches);
   EpochSums sums;
   data::Batch batch;
-  while ((max_batches < 0 || sums.batches < max_batches) && pipe.next(batch)) {
+  while (max_batches < 0 || sums.batches < max_batches) {
+    runtime::ArenaScope scope(arena_);
+    if (!pipe.next(batch)) break;
     account_staging(batch, pipe.prefetching());
     std::vector<Variable> outputs = model_->forward_seq(batch.x);
     sums.sum += metric == Metric::kMae ? seq_mae(outputs, batch.y)

@@ -33,6 +33,7 @@
 #include "data/prefetch.h"
 #include "nn/dcrnn.h"
 #include "optim/optim.h"
+#include "runtime/arena.h"
 
 namespace pgti::core {
 
@@ -117,6 +118,18 @@ class EpochEngine {
   /// The exposed remainder of the modeled staging seconds observed.
   double exposed_transfer_seconds() const noexcept { return pcie_exposed_; }
 
+  /// Tracker-charged heap allocations during the most recent train
+  /// step (batch delivery + forward + backward + sync + step).  With
+  /// the arena enabled this converges to 0 after the first (planning)
+  /// step of a synchronous pipeline; prefetch workers allocate on
+  /// their own threads and are counted process-wide, so deep pipelines
+  /// report their staging traffic here too.
+  std::uint64_t allocs_last_step() const noexcept { return allocs_last_step_; }
+
+  /// Pool demand recorded by this engine's arena (planning high-water,
+  /// pool hits, reserved bytes).
+  runtime::ArenaStats arena_stats() const { return arena_.stats(); }
+
  private:
   void account_staging(const data::Batch& batch, bool prefetched);
 
@@ -125,6 +138,11 @@ class EpochEngine {
   Hooks hooks_;
   double pcie_overlapped_ = 0.0;
   double pcie_exposed_ = 0.0;
+  // One arena per engine (per rank, for distributed runs): every
+  // train/eval step opens an ArenaScope on it, so the first step plans
+  // bucket demand and later steps replay against the pool.
+  runtime::TensorArena arena_;
+  std::uint64_t allocs_last_step_ = 0;
 };
 
 }  // namespace pgti::core

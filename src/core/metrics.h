@@ -40,6 +40,10 @@ struct TrainResult {
   std::int64_t model_parameters = 0;
   std::int64_t train_samples = 0;
   double final_test_mse = 0.0;  ///< populated when a test pass runs
+  /// Tracker-charged heap allocations during the last train step.
+  /// With the tensor arena enabled (default) this is 0 once the
+  /// first-step planning pass has populated the pool (DESIGN.md §16).
+  std::uint64_t allocs_last_step = 0;
 
   double total_seconds() const { return preprocess_seconds + train_seconds; }
   /// Workflow time with modeled interconnect time added (the quantity
@@ -76,6 +80,11 @@ struct DistResult {
   dist::StoreStats store;
   std::int64_t model_parameters = 0;
   int world = 1;
+  /// Rank 0's tracker-charged heap allocations during its last train
+  /// step (process-wide counter delta, so concurrent ranks can bleed
+  /// into each other's windows; converges to 0 with the arena enabled
+  /// once every rank's pool is warm).
+  std::uint64_t allocs_last_step = 0;
 };
 
 }  // namespace pgti::core

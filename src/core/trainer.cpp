@@ -176,6 +176,7 @@ TrainResult Trainer::run() {
     }
   }
   result.train_seconds = train_timer.seconds();
+  result.allocs_last_step = engine.allocs_last_step();
 
   // Final test MSE (normalized units; Table 6 reports this).
   {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/spmm_stage.h"
 #include "runtime/thread_pool.h"
 
 namespace pgti {
@@ -150,14 +151,19 @@ void Csr::spmm_into(const float* x, float* y, std::int64_t c) const {
 
 Tensor Csr::spmm_impl(const Tensor& x, const float* bias, ops::Act act,
                       const char* what) const {
+  // Strided x (a view from index-batching) needs dense staging before
+  // the row gather; stage_dense leases the buffer from the
+  // WorkspaceCache and is a no-op for contiguous x.  It lives in its
+  // own translation unit so the staging loops don't eat into this
+  // file's inlining budget around the hot row-gather dispatch below.
+  runtime::WorkspaceCache::Handle stage;
   if (x.dim() == 2) {
     if (x.size(0) != cols_) {
       throw std::invalid_argument(std::string(what) + ": x must be [cols, C]");
     }
-    const Tensor xc = x.contiguous();
     const std::int64_t c = x.size(1);
+    const float* px = detail::stage_dense(x, stage, what);
     Tensor y = Tensor::empty({rows_, c}, x.space());
-    const float* px = xc.data();
     float* py = y.data();
     parallel_for(0, rows_, kSpmmRowBlock, [&](std::int64_t lo, std::int64_t hi) {
       spmm_rows(px, py, c, lo, hi, bias, act);
@@ -167,11 +173,10 @@ Tensor Csr::spmm_impl(const Tensor& x, const float* bias, ops::Act act,
   if (x.dim() != 3 || x.size(1) != cols_) {
     throw std::invalid_argument(std::string(what) + ": x must be [B, cols, C]");
   }
-  const Tensor xc = x.contiguous();
   const std::int64_t b = x.size(0);
   const std::int64_t c = x.size(2);
+  const float* px = detail::stage_dense(x, stage, what);
   Tensor y = Tensor::empty({b, rows_, c}, x.space());
-  const float* px = xc.data();
   float* py = y.data();
   const std::int64_t in_stride = cols_ * c;
   const std::int64_t out_stride = rows_ * c;

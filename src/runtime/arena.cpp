@@ -1,0 +1,204 @@
+#include "runtime/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PGTI_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PGTI_ASAN 1
+#endif
+#endif
+
+#if defined(PGTI_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace pgti::runtime {
+namespace {
+
+// Smallest bucket: 64 floats (256 B).  Anything below still gets a
+// 64-float block; buckets double from there.
+constexpr std::int64_t kMinBucketNumel = 64;
+constexpr int kNumBuckets = 40;
+
+int bucket_for(std::int64_t numel) {
+  std::int64_t cap = kMinBucketNumel;
+  int b = 0;
+  while (cap < numel) {
+    cap <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::int64_t bucket_capacity(int bucket) { return kMinBucketNumel << bucket; }
+
+void poison_block(float* p, std::int64_t cap) {
+#if defined(PGTI_ASAN)
+  __asan_poison_memory_region(p, static_cast<std::size_t>(cap) * sizeof(float));
+#else
+  (void)p;
+  (void)cap;
+#endif
+}
+
+void unpoison_block(float* p, std::int64_t cap) {
+#if defined(PGTI_ASAN)
+  __asan_unpoison_memory_region(p, static_cast<std::size_t>(cap) * sizeof(float));
+#else
+  (void)p;
+  (void)cap;
+#endif
+}
+
+thread_local TensorArena* t_current_arena = nullptr;
+std::atomic<bool> g_arena_enabled{true};
+
+}  // namespace
+
+namespace detail {
+
+struct ArenaState {
+  struct Bucket {
+    std::vector<float*> free;
+    std::uint64_t heap_blocks = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t outstanding = 0;
+    std::uint64_t high_water = 0;
+  };
+  struct SpacePools {
+    Bucket buckets[kNumBuckets];
+  };
+
+  mutable std::mutex mu;
+  std::vector<SpacePools> spaces;  // indexed by MemorySpaceId
+  std::uint64_t heap_blocks = 0;
+  std::uint64_t pool_hits = 0;
+  std::size_t bytes_reserved = 0;
+
+  ~ArenaState() {
+    // Only free-list blocks can exist here: every outstanding block
+    // holds a shared_ptr to this state.
+    for (SpacePools& sp : spaces) {
+      for (int b = 0; b < kNumBuckets; ++b) {
+        for (float* p : sp.buckets[b].free) {
+          unpoison_block(p, bucket_capacity(b));
+          delete[] p;
+        }
+        sp.buckets[b].free.clear();
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+TensorArena::TensorArena() : state_(std::make_shared<detail::ArenaState>()) {}
+
+TensorArena::~TensorArena() = default;
+
+ArenaBlock TensorArena::acquire(std::int64_t numel, MemorySpaceId space) {
+  const int bucket = bucket_for(numel);
+  const std::int64_t cap = bucket_capacity(bucket);
+  const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
+
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (static_cast<std::size_t>(space) >= state_->spaces.size()) {
+    state_->spaces.resize(static_cast<std::size_t>(space) + 1);
+  }
+  auto& b = state_->spaces[static_cast<std::size_t>(space)].buckets[bucket];
+
+  ArenaBlock block;
+  block.bucket = bucket;
+  block.space = space;
+  if (!b.free.empty()) {
+    // Charge the tracker before committing: a limit violation must
+    // leave the pool untouched.
+    MemoryTracker::instance().on_alloc(space, bytes, /*from_heap=*/false);
+    block.data = b.free.back();
+    b.free.pop_back();
+    unpoison_block(block.data, cap);
+    block.pool_hit = true;
+    ++b.pool_hits;
+    ++state_->pool_hits;
+  } else {
+    MemoryTracker::instance().on_alloc(space, bytes, /*from_heap=*/true);
+    try {
+      block.data = new float[static_cast<std::size_t>(cap)]();
+    } catch (...) {
+      MemoryTracker::instance().on_free(space, bytes);
+      throw;
+    }
+    ++b.heap_blocks;
+    ++state_->heap_blocks;
+    state_->bytes_reserved += static_cast<std::size_t>(cap) * sizeof(float);
+  }
+  ++b.outstanding;
+  b.high_water = std::max(b.high_water, b.outstanding);
+  block.state = state_;
+  return block;
+}
+
+void TensorArena::release(ArenaBlock& block) noexcept {
+  if (block.data == nullptr || !block.state) return;
+  {
+    std::lock_guard<std::mutex> lock(block.state->mu);
+    auto& b =
+        block.state->spaces[static_cast<std::size_t>(block.space)].buckets[block.bucket];
+    poison_block(block.data, bucket_capacity(block.bucket));
+    b.free.push_back(block.data);
+    --b.outstanding;
+  }
+  block.data = nullptr;
+  block.state.reset();  // may free the pool if the arena is already gone
+}
+
+ArenaStats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ArenaStats out;
+  out.heap_blocks = state_->heap_blocks;
+  out.pool_hits = state_->pool_hits;
+  out.bytes_reserved = state_->bytes_reserved;
+  for (std::size_t s = 0; s < state_->spaces.size(); ++s) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const auto& bk = state_->spaces[s].buckets[b];
+      if (bk.heap_blocks == 0 && bk.pool_hits == 0) continue;
+      ArenaBucketStats bs;
+      bs.space = static_cast<MemorySpaceId>(s);
+      bs.capacity = bucket_capacity(b);
+      bs.heap_blocks = bk.heap_blocks;
+      bs.pool_hits = bk.pool_hits;
+      bs.outstanding = bk.outstanding;
+      bs.high_water = bk.high_water;
+      bs.pooled = static_cast<std::uint64_t>(bk.free.size());
+      out.buckets.push_back(bs);
+    }
+  }
+  return out;
+}
+
+ArenaScope::ArenaScope(TensorArena& arena) noexcept {
+  if (!arena_enabled()) return;
+  prev_ = t_current_arena;
+  t_current_arena = &arena;
+  installed_ = true;
+}
+
+ArenaScope::~ArenaScope() {
+  if (installed_) t_current_arena = prev_;
+}
+
+TensorArena* current_arena() noexcept { return t_current_arena; }
+
+bool arena_enabled() noexcept {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+void set_arena_enabled(bool enabled) noexcept {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace pgti::runtime

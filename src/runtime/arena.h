@@ -1,0 +1,132 @@
+// Step-scoped pooled tensor allocation (DESIGN.md §16).
+//
+// The tape's intermediate tensors are allocated and freed thousands of
+// times per training step in near-identical shape sequences; after the
+// PR 7 kernel rebuild that malloc/free churn is the largest non-kernel
+// cost in BM_DcgruForwardBackward.  TensorArena turns it into pointer
+// recycling: blocks are size-bucketed (power-of-two float counts) and
+// returned to a per-arena free list instead of the heap, so the first
+// step of an epoch "plans" — heap-allocates and records high-water
+// bucket demand — and every later step replays against the pool
+// without touching the heap.
+//
+// Scoping is thread-local and RAII: EpochEngine opens one ArenaScope
+// per train/eval step, tensor::Storage routes through the scope's
+// arena when one is active and falls back to the plain heap otherwise
+// (tests and benches that never open a scope see the seed allocator).
+// Blocks may outlive both the scope and the arena object — parameter
+// gradients and Adam state allocated inside a step scope survive the
+// engine — so every block holds a shared_ptr to the arena's internal
+// state and the pooled memory is freed only when the last block
+// releases.
+//
+// MemoryTracker integration is unchanged from the seed: every acquire
+// charges the requested tensor bytes (enforcing space limits / OOM)
+// and every release refunds them, whether the block came from the pool
+// or the heap.  The tracker's heap_alloc_count only advances on real
+// heap allocations, which is what makes "alloc-free after warmup" a
+// queryable number.  Under AddressSanitizer, pooled (free) blocks are
+// poisoned so a use-after-release of recycled memory faults instead of
+// silently reading stale floats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/memory_tracker.h"
+
+namespace pgti::runtime {
+
+namespace detail {
+struct ArenaState;
+}
+
+/// One pooled allocation handed out by TensorArena.  Holds the arena's
+/// internal state alive so release() stays valid after the arena
+/// object itself is destroyed.
+struct ArenaBlock {
+  float* data = nullptr;
+  std::shared_ptr<detail::ArenaState> state;
+  std::int32_t bucket = -1;
+  MemorySpaceId space = kHostSpace;
+  bool pool_hit = false;  ///< served from the free list (no heap traffic)
+
+  explicit operator bool() const noexcept { return data != nullptr; }
+};
+
+/// Per-bucket demand record (one memory space, one size class).
+struct ArenaBucketStats {
+  MemorySpaceId space = kHostSpace;
+  std::int64_t capacity = 0;      ///< block capacity in floats
+  std::uint64_t heap_blocks = 0;  ///< blocks ever heap-allocated
+  std::uint64_t pool_hits = 0;    ///< acquisitions served from the pool
+  std::uint64_t outstanding = 0;  ///< currently acquired
+  std::uint64_t high_water = 0;   ///< max simultaneous outstanding (the plan)
+  std::uint64_t pooled = 0;       ///< free blocks waiting for reuse
+};
+
+struct ArenaStats {
+  std::uint64_t heap_blocks = 0;
+  std::uint64_t pool_hits = 0;
+  std::size_t bytes_reserved = 0;  ///< heap bytes held (pooled + outstanding)
+  std::vector<ArenaBucketStats> buckets;  ///< non-empty buckets only
+};
+
+/// Size-bucketed pool allocator for step-scoped tensor lifetimes.
+/// Thread-safe; acquire/release may happen on different threads.
+class TensorArena {
+ public:
+  TensorArena();
+  ~TensorArena();
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Acquires a block of >= numel floats in `space`.  Charges the
+  /// MemoryTracker with the requested bytes (may throw OutOfMemoryError,
+  /// in which case no block is taken).  Pool hits return recycled,
+  /// UNINITIALIZED memory; fresh heap blocks are zeroed to match the
+  /// heap fallback's value semantics on first touch.
+  ArenaBlock acquire(std::int64_t numel, MemorySpaceId space);
+
+  /// Returns a block to its pool (NOT to the heap).  Valid after the
+  /// owning arena is destroyed; the pooled memory is freed when the
+  /// last block of a dead arena releases.  Does not touch the
+  /// MemoryTracker — the caller refunds its own charge.
+  static void release(ArenaBlock& block) noexcept;
+
+  ArenaStats stats() const;
+
+ private:
+  std::shared_ptr<detail::ArenaState> state_;
+};
+
+/// RAII thread-local scope: while alive (and the arena feature is
+/// enabled), tensor Storage allocations on this thread route through
+/// `arena`.  Nests — the previous scope is restored on destruction,
+/// including during exception unwinding.
+class ArenaScope {
+ public:
+  explicit ArenaScope(TensorArena& arena) noexcept;
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  TensorArena* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+/// The arena the current thread's allocations route through (nullptr
+/// when no scope is active on this thread).
+TensorArena* current_arena() noexcept;
+
+/// Process-wide feature toggle (default on).  When off, ArenaScope is
+/// a no-op and every allocation takes the heap path — the seed
+/// allocator, bit for bit.  Toggle OUTSIDE any active scope.
+bool arena_enabled() noexcept;
+void set_arena_enabled(bool enabled) noexcept;
+
+}  // namespace pgti::runtime

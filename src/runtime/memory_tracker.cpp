@@ -42,7 +42,7 @@ void MemoryTracker::set_limit(MemorySpaceId space, std::size_t bytes) {
   spaces_.at(static_cast<std::size_t>(space)).limit = bytes;
 }
 
-void MemoryTracker::on_alloc(MemorySpaceId space, std::size_t bytes) {
+void MemoryTracker::on_alloc(MemorySpaceId space, std::size_t bytes, bool from_heap) {
   std::lock_guard<std::mutex> lock(mu_);
   Space& s = spaces_.at(static_cast<std::size_t>(space));
   if (s.limit != 0 && s.current + bytes > s.limit) {
@@ -51,6 +51,10 @@ void MemoryTracker::on_alloc(MemorySpaceId space, std::size_t bytes) {
   s.current += bytes;
   s.peak = std::max(s.peak, s.current);
   ++s.alloc_count;
+  if (from_heap) {
+    ++s.heap_alloc_count;
+    ++heap_allocs_total_;
+  }
 }
 
 void MemoryTracker::on_free(MemorySpaceId space, std::size_t bytes) noexcept {
@@ -72,7 +76,8 @@ std::size_t MemoryTracker::peak(MemorySpaceId space) const {
 MemorySpaceStats MemoryTracker::stats(MemorySpaceId space) const {
   std::lock_guard<std::mutex> lock(mu_);
   const Space& s = spaces_.at(static_cast<std::size_t>(space));
-  return MemorySpaceStats{s.name, s.current, s.peak, s.limit, s.alloc_count};
+  return MemorySpaceStats{s.name,  s.current,      s.peak,
+                          s.limit, s.alloc_count, s.heap_alloc_count};
 }
 
 std::vector<MemorySpaceStats> MemoryTracker::all_stats() const {
@@ -80,7 +85,8 @@ std::vector<MemorySpaceStats> MemoryTracker::all_stats() const {
   std::vector<MemorySpaceStats> out;
   out.reserve(spaces_.size());
   for (const Space& s : spaces_) {
-    out.push_back(MemorySpaceStats{s.name, s.current, s.peak, s.limit, s.alloc_count});
+    out.push_back(MemorySpaceStats{s.name,  s.current,      s.peak,
+                                   s.limit, s.alloc_count, s.heap_alloc_count});
   }
   return out;
 }
@@ -110,6 +116,11 @@ void MemoryTracker::clear_timeline(MemorySpaceId space) {
 int MemoryTracker::space_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(spaces_.size());
+}
+
+std::uint64_t MemoryTracker::heap_allocs_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_allocs_total_;
 }
 
 ScopedPeakWatch::ScopedPeakWatch(MemorySpaceId space) : space_(space) {

@@ -52,7 +52,8 @@ struct MemorySpaceStats {
   std::size_t current = 0;
   std::size_t peak = 0;
   std::size_t limit = 0;  ///< 0 == unlimited
-  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_count = 0;       ///< every charge (heap or pool-served)
+  std::uint64_t heap_alloc_count = 0;  ///< charges that actually hit the heap
 };
 
 /// Process-wide registry of memory spaces.
@@ -70,7 +71,12 @@ class MemoryTracker {
   void set_limit(MemorySpaceId space, std::size_t bytes);
 
   /// Records an allocation; throws OutOfMemoryError when over limit.
-  void on_alloc(MemorySpaceId space, std::size_t bytes);
+  /// `from_heap` distinguishes real heap allocations from charges
+  /// served by a pool (TensorArena / WorkspaceCache reuse): both count
+  /// toward usage, limits, and alloc_count, but only heap allocations
+  /// advance heap_alloc_count — the number the "alloc-free after
+  /// warmup" claims are measured against.
+  void on_alloc(MemorySpaceId space, std::size_t bytes, bool from_heap = true);
 
   /// Records a deallocation.
   void on_free(MemorySpaceId space, std::size_t bytes) noexcept;
@@ -91,6 +97,11 @@ class MemoryTracker {
   /// Number of registered spaces.
   int space_count() const;
 
+  /// Total heap allocations across all spaces since process start.
+  /// EpochEngine snapshots this around each train step to compute the
+  /// per-step delta surfaced as TrainResult/DistResult.allocs_last_step.
+  std::uint64_t heap_allocs_total() const;
+
  private:
   MemoryTracker();
 
@@ -100,11 +111,13 @@ class MemoryTracker {
     std::size_t peak = 0;
     std::size_t limit = 0;
     std::uint64_t alloc_count = 0;
+    std::uint64_t heap_alloc_count = 0;
     std::vector<MemorySample> timeline;
   };
 
   mutable std::mutex mu_;
   std::vector<Space> spaces_;
+  std::uint64_t heap_allocs_total_ = 0;
 };
 
 /// RAII helper: resets a space's peak on construction and reports the

@@ -27,10 +27,18 @@ std::string shape_to_string(const Shape& shape) {
 
 Storage::Storage(std::int64_t numel, MemorySpaceId space)
     : numel_(numel), space_(space) {
+  runtime::TensorArena* arena = runtime::current_arena();
+  if (arena != nullptr && numel > 0) {
+    // acquire() charges the tracker itself (heap or pool-served) and
+    // throws OutOfMemoryError before taking a block when over limit.
+    block_ = arena->acquire(numel, space);
+    data_ = block_.data;
+    return;
+  }
   const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
   MemoryTracker::instance().on_alloc(space, bytes);  // may throw OOM
   try {
-    data_ = std::make_unique<float[]>(static_cast<std::size_t>(numel));
+    data_ = new float[static_cast<std::size_t>(numel)]();
   } catch (...) {
     MemoryTracker::instance().on_free(space, bytes);
     throw;
@@ -40,6 +48,11 @@ Storage::Storage(std::int64_t numel, MemorySpaceId space)
 Storage::~Storage() {
   MemoryTracker::instance().on_free(
       space_, static_cast<std::size_t>(numel_) * sizeof(float));
+  if (block_) {
+    runtime::TensorArena::release(block_);
+  } else {
+    delete[] data_;
+  }
 }
 
 Tensor::Tensor(std::shared_ptr<Storage> storage, std::int64_t offset, Shape shape,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/arena.h"
 #include "runtime/memory_tracker.h"
 #include "runtime/rng.h"
 
@@ -29,6 +30,9 @@ std::int64_t shape_numel(const Shape& shape);
 std::string shape_to_string(const Shape& shape);
 
 /// Reference-counted, memory-tracked flat buffer bound to one space.
+/// When a runtime::ArenaScope is active on the allocating thread the
+/// buffer is a recycled pool block (DESIGN.md §16); otherwise it comes
+/// from the heap, zero-initialized, exactly as the seed allocator did.
 class Storage {
  public:
   Storage(std::int64_t numel, MemorySpaceId space);
@@ -37,13 +41,17 @@ class Storage {
   Storage(const Storage&) = delete;
   Storage& operator=(const Storage&) = delete;
 
-  float* data() noexcept { return data_.get(); }
-  const float* data() const noexcept { return data_.get(); }
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
   std::int64_t numel() const noexcept { return numel_; }
   MemorySpaceId space() const noexcept { return space_; }
+  /// True when the buffer is an arena pool block rather than a private
+  /// heap allocation.
+  bool from_arena() const noexcept { return static_cast<bool>(block_); }
 
  private:
-  std::unique_ptr<float[]> data_;
+  float* data_ = nullptr;
+  runtime::ArenaBlock block_;
   std::int64_t numel_;
   MemorySpaceId space_;
 };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "runtime/thread_pool.h"
+#include "runtime/workspace.h"
 
 namespace pgti::ops {
 namespace {
@@ -443,8 +444,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   // transpose B once (O(K*N), negligible next to the 2*M*K*N GEMM) and
   // run the same j-panel-vectorized kernel as matmul.  Accumulation per
   // element is still a single k-ascending chain — identical bits to
-  // the dot-product form, ~10x faster at backward shapes.
-  Tensor bt = Tensor::empty({K, N}, b.space());
+  // the dot-product form, ~10x faster at backward shapes.  The [K, N]
+  // scratch is leased from the WorkspaceCache: backward calls this at
+  // the same shapes every step, so after the first step the transpose
+  // buffer is recycled instead of reallocated.
+  runtime::WorkspaceCache::Handle bt =
+      runtime::WorkspaceCache::instance().acquire("matmul_nt_bt", K * N, b.space());
   const float* pb = b.data();
   float* pbt = bt.data();
   parallel_for(0, N, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, K)),
@@ -459,6 +464,89 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   float* pc = out.data();
   parallel_for(0, M, gemm_grain(K, N), [&](std::int64_t lo, std::int64_t hi) {
     gemm_nn_rows(pa, pbt, pc, lo, hi, K, N, nullptr, Act::kIdentity);
+  });
+  return out;
+}
+
+namespace {
+
+// dz[i] = g[i] * act'(y[i]) over the flat range [lo, hi).  The exact
+// per-element expressions of the unfused activation backwards; both the
+// standalone act_backward kernel and the fused epilogue pre-pass run
+// this code, so their bits agree regardless of how the range is
+// partitioned (each element is independent).
+inline void act_backward_range(const float* pg, const float* py, float* pd,
+                               std::int64_t lo, std::int64_t hi, Act act) {
+  switch (act) {
+    case Act::kSigmoid:
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+      break;
+    case Act::kTanh:
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+      break;
+    case Act::kRelu:
+      for (std::int64_t i = lo; i < hi; ++i) pd[i] = py[i] > 0.0f ? pg[i] : 0.0f;
+      break;
+    case Act::kIdentity:
+      std::copy(pg + lo, pg + hi, pd + lo);
+      break;
+  }
+}
+
+}  // namespace
+
+Tensor act_backward(const Tensor& g, const Tensor& y, Act act) {
+  if (act == Act::kIdentity) return g;
+  require_same_shape(g, y, "act_backward");
+  require_contiguous(g, "act_backward");
+  require_contiguous(y, "act_backward");
+  Tensor dz = Tensor::empty(y.shape(), y.space());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* pd = dz.data();
+  parallel_for(0, y.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    act_backward_range(pg, py, pd, lo, hi, act);
+  });
+  return dz;
+}
+
+Tensor matmul_nt_act_backward(const Tensor& g, const Tensor& y, Act act,
+                              const Tensor& w, Tensor& dz) {
+  require_contiguous(g, "matmul_nt_act_backward");
+  require_contiguous(y, "matmul_nt_act_backward");
+  require_contiguous(w, "matmul_nt_act_backward");
+  require_contiguous(dz, "matmul_nt_act_backward");
+  require_same_shape(g, y, "matmul_nt_act_backward");
+  require_same_shape(g, dz, "matmul_nt_act_backward");
+  if (g.dim() != 2 || w.dim() != 2 || g.size(1) != w.size(1)) {
+    throw std::invalid_argument("matmul_nt_act_backward: incompatible shapes");
+  }
+  const std::int64_t M = g.size(0), K = g.size(1), N = w.size(0);
+  // Same W transpose as matmul_nt(dz, w) — and the same workspace key,
+  // so the fused and unfused backward share one cached scratch buffer.
+  runtime::WorkspaceCache::Handle wt =
+      runtime::WorkspaceCache::instance().acquire("matmul_nt_bt", K * N, w.space());
+  const float* pw = w.data();
+  float* pwt = wt.data();
+  parallel_for(0, N, std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, K)),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t j = lo; j < hi; ++j) {
+                   const float* wrow = pw + j * K;
+                   for (std::int64_t k = 0; k < K; ++k) pwt[k * N + j] = wrow[k];
+                 }
+               });
+  Tensor out = Tensor::empty({M, N}, g.space());
+  const float* pg = g.data();
+  const float* py = y.data();
+  float* pd = dz.data();
+  float* pc = out.data();
+  // One dispatch: each row block materializes its dz rows (epilogue
+  // pre-pass) and immediately streams them through the NT panel gemm
+  // while they are cache-hot.  dz remains fully written for the
+  // downstream matmul_tn/colsum consumers.
+  parallel_for(0, M, gemm_grain(K, N), [&](std::int64_t lo, std::int64_t hi) {
+    act_backward_range(pg, py, pd, lo * K, hi * K, act);
+    gemm_nn_rows(pd, pwt, pc, lo, hi, K, N, nullptr, Act::kIdentity);
   });
   return out;
 }

@@ -103,6 +103,22 @@ Tensor matmul_reference(const Tensor& a, const Tensor& b);
 Tensor matmul_tn_reference(const Tensor& a, const Tensor& b);
 Tensor matmul_nt_reference(const Tensor& a, const Tensor& b);
 
+/// dz = g ⊙ act'(y), evaluated from the saved forward output y with the
+/// exact per-element expressions of the unfused sigmoid/tanh/relu
+/// backwards.  Identity returns g itself (aliasing view, no copy).
+Tensor act_backward(const Tensor& g, const Tensor& y, Act act);
+
+/// Fused backward epilogue (DESIGN.md §16): computes dz = g ⊙ act'(y)
+/// into `dz` (preallocated, g's shape) and returns dA = dz * W^T in one
+/// parallel dispatch — each row block runs the activation-backward
+/// pre-pass immediately before its NT panel gemm, so dz rows are
+/// consumed cache-hot and the separate elementwise pass disappears.
+/// Bit-identical to matmul_nt(act_backward(g, y, act), w): the dz
+/// expressions and the panel kernel are the same code, per element.
+/// `dz` stays fully materialized for the matmul_tn/colsum consumers.
+Tensor matmul_nt_act_backward(const Tensor& g, const Tensor& y, Act act,
+                              const Tensor& w, Tensor& dz);
+
 /// out[M,C] = m[M,C] + bias[C] broadcast over rows.
 Tensor add_bias(const Tensor& m, const Tensor& bias);
 /// out[M,C] = m[M,C] * col[M,1] broadcast over columns.
