@@ -28,7 +28,9 @@
 #                  prefetch pipeline; under ASan the arena poisons
 #                  recycled blocks between leases, so stale reads of
 #                  pooled memory fault instead of silently reusing
-#                  bits).
+#                  bits), and serve_test (client threads submitting
+#                  against the coalescing worker while a training
+#                  thread publishes copy-on-publish snapshots).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -52,6 +54,15 @@ echo "== alloc-free steady state gate: train step heap allocs must be 0 =="
 "${build_dir}/arena_test" \
   --gtest_filter='ArenaTrainer.SteadyStateTrainStepIsAllocFree:WorkspaceCache.MatmulNtScratchOneAllocationAcross100BackwardSteps'
 
+echo
+echo "== serving gate: micro-batch bit-parity + snapshot isolation =="
+# The two serving invariants everything else leans on, re-run by name:
+# a coalesced micro-batch must be byte-identical to sequential
+# single-request forwards, and a mid-flight publish from a concurrent
+# training thread must never bleed into a captured snapshot.
+"${build_dir}/serve_test" \
+  --gtest_filter='ServeBitParity.CoalescedBatchMatchesSequentialForwards:ServeSnapshot.PublishFromTrainingThreadIsolatesVersions'
+
 sanitize="${PGTI_SANITIZE:-}"
 if [ -n "${sanitize}" ]; then
   case "${sanitize}" in
@@ -61,9 +72,9 @@ if [ -n "${sanitize}" ]; then
        exit 1 ;;
   esac
   echo
-  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap + kernel_fusion + arena suites) in ${san_dir} =="
+  echo "== ${sanitize} sanitizer pass (dist_* + epoch_engine + grad_overlap + kernel_fusion + arena + serve suites) in ${san_dir} =="
   cmake -B "${san_dir}" -S "${repo_root}" -DPGTI_SANITIZE="${sanitize}" -DPGTI_WERROR=ON
   cmake --build "${san_dir}" -j "${jobs}"
   ctest --test-dir "${san_dir}" --output-on-failure -j "${jobs}" -L tier1 \
-        -R '^(dist_|epoch_engine|grad_overlap|kernel_fusion|arena)'
+        -R '^(dist_|epoch_engine|grad_overlap|kernel_fusion|arena|serve_)'
 fi

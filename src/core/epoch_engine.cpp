@@ -79,6 +79,7 @@ EpochEngine::EpochSums EpochEngine::train_epoch(BatchPipeline& pipe, int epoch,
     ++sums.batches;
     if (hooks_.on_train_step) hooks_.on_train_step(epoch, sums.batches);
   }
+  if (hooks_.on_epoch_end) hooks_.on_epoch_end(epoch, sums.batches);
   return sums;
 }
 

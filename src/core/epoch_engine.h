@@ -87,6 +87,13 @@ class EpochEngine {
     /// (dist::OverlappedGradBucket).  Pair with a draining
     /// sync_gradients.
     GradReadyObserver* grad_observer = nullptr;
+    /// Runs once at the end of every training epoch with (epoch,
+    /// batches consumed), after the last optimizer step and outside
+    /// any step ArenaScope.  The serving path publishes its
+    /// copy-on-publish ModelSnapshot here (serve::SnapshotSlot), so a
+    /// live trainer streams fresh model versions to an overlapping
+    /// InferenceEngine without locks on either hot path.
+    std::function<void(int, std::int64_t)> on_epoch_end;
   };
 
   // (Two overloads rather than one defaulted argument: GCC 12 rejects

@@ -107,6 +107,13 @@ bool PrefetchLoader::next(Batch& out) {
 }
 
 void PrefetchLoader::worker_loop() {
+  // Staging allocations (the inner loader's reusable buffers, the ring
+  // slots' deep copies, any per-batch scratch the source needs) happen
+  // on this thread; one scope for its lifetime pools them all.  Pool
+  // reuse hands back uninitialized memory, which is safe here: every
+  // staging buffer is fully overwritten (copy_from / clone) before any
+  // consumer reads it.
+  runtime::ArenaScope scope(arena_);
   Batch staged;
   for (;;) {
     int epoch;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "data/dataloader.h"
+#include "runtime/arena.h"
 
 namespace pgti::data {
 
@@ -53,6 +54,12 @@ class PrefetchLoader {
 
   int depth() const noexcept { return static_cast<int>(slots_.size()) - 1; }
 
+  /// Pool demand recorded by the worker's staging arena (planning
+  /// high-water, pool hits): the worker thread runs under an
+  /// ArenaScope, so after the first epoch plans the ring's buffer
+  /// shapes, steady-state staging allocates nothing from the heap.
+  runtime::ArenaStats arena_stats() const { return arena_.stats(); }
+
  private:
   void worker_loop();
   static void deep_copy(const Batch& src, Batch& dst);
@@ -61,6 +68,15 @@ class PrefetchLoader {
   }
 
   DataLoader* inner_;
+  // The worker's staging pool (declared before worker_ so it outlives
+  // the thread's scope on every destruction path).  Ring slots and the
+  // inner loader's staging buffers are allocated on the worker thread,
+  // so routing that thread through an arena closes the last scope-less
+  // allocation path of a prefetched pipeline: the first epoch plans,
+  // later epochs stage alloc-free.  Slot tensors escape to the
+  // consumer as views; blocks recycle when slots cycle or the ring
+  // dies, never mid-lease.
+  runtime::TensorArena arena_;
   std::thread worker_;
   std::mutex mu_;
   std::condition_variable cv_;

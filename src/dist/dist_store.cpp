@@ -86,10 +86,26 @@ DistStore::~DistStore() {
   }
 }
 
+int DistStore::add_reader() {
+  const int rank = world_ + reader_ranks_;
+  ++reader_ranks_;
+  ranks_.push_back(std::make_unique<RankState>());
+  // Readers own nothing: partition(rank) is empty by construction
+  // (chunk_ * rank clamps to num_snapshots_), owner() never returns a
+  // reader, so price_batch treats every access as remote — the serving
+  // path pays the same modeled fetch costs a worker would for foreign
+  // snapshots.
+  if (async_prefetch_) {
+    ranks_.back()->stager = std::thread([this, rank] { stager_loop(rank); });
+  }
+  return rank;
+}
+
 void DistStore::check_rank(int rank) const {
-  if (rank < 0 || rank >= world_) {
+  const int limit = world_ + reader_ranks_;
+  if (rank < 0 || rank >= limit) {
     throw std::out_of_range("DistStore: rank " + std::to_string(rank) +
-                            " outside [0, " + std::to_string(world_) + ")");
+                            " outside [0, " + std::to_string(limit) + ")");
   }
 }
 
@@ -374,6 +390,13 @@ void DistStore::prefetch_batch(int rank, const std::vector<std::int64_t>& ids) {
 
 void DistStore::stager_loop(int rank) {
   RankState& rs = rank_state(rank);
+  // The staging thread clones whole batches of remote snapshots every
+  // epoch in a repeating shape sequence — exactly the lifetime pattern
+  // the arena pools.  One scope for the thread's lifetime: the first
+  // epoch plans bucket demand, later epochs stage alloc-free (clones
+  // fully overwrite recycled blocks; evictions release them back from
+  // the consumer side).
+  runtime::ArenaScope scope(rs.arena);
   std::unique_lock<std::mutex> lk(rs.m);
   for (;;) {
     rs.cv.wait(lk, [&] { return rs.stop || !rs.queue.empty(); });

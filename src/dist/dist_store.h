@@ -76,6 +76,7 @@
 #include "data/preprocess.h"
 #include "data/snapshot_provider.h"
 #include "dist/cluster_model.h"
+#include "runtime/arena.h"
 
 namespace pgti::dist {
 
@@ -138,6 +139,18 @@ class DistStore final : public data::SnapshotProvider {
 
   DistStore(const DistStore&) = delete;
   DistStore& operator=(const DistStore&) = delete;
+
+  /// Registers a read-only rank (a serving-side view of the store) and
+  /// returns its rank id.  Readers own no partition — every fetch is
+  /// remote, priced and cached exactly like a worker's remote accesses
+  /// — so training shards are untouched by serving traffic.  With
+  /// async_prefetch the reader gets its own staging thread.  Setup
+  /// time only: call before any concurrent use of the store (rank
+  /// registration is not synchronized against in-flight accesses).
+  int add_reader();
+
+  /// Ranks registered via add_reader() so far.
+  int reader_ranks() const noexcept { return reader_ranks_; }
 
   /// Owning rank of a snapshot; throws std::out_of_range for ids
   /// outside [0, num_snapshots).
@@ -262,6 +275,14 @@ class DistStore final : public data::SnapshotProvider {
     /// (remote consumes advance it).
     std::unordered_map<std::int64_t, std::vector<std::int64_t>> schedule_pos;
     std::int64_t schedule_progress = 0;
+
+    /// Pool for the staging thread's snapshot clones: the stager runs
+    /// under an ArenaScope on this arena, so after the first pass over
+    /// a shape the per-batch remote copies recycle pool blocks instead
+    /// of hitting the heap (clones fully overwrite, so recycled
+    /// uninitialized memory is safe).  Cache evictions release blocks
+    /// from the consumer thread; the arena is thread-safe for that.
+    runtime::TensorArena arena;
   };
 
   /// Per-owner-consolidated price of one announced batch (the PR 1
@@ -313,6 +334,7 @@ class DistStore final : public data::SnapshotProvider {
   std::int64_t num_snapshots_;
   std::int64_t snapshot_bytes_;
   int world_;
+  int reader_ranks_ = 0;  ///< read-only ranks appended after the workers
   std::int64_t chunk_ = 1;
   NetworkModel network_;
   bool consolidate_requests_;

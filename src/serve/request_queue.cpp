@@ -1,0 +1,71 @@
+#include "serve/request_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pgti::serve {
+
+RequestQueue::RequestQueue(std::int64_t capacity) : capacity_(capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+  }
+}
+
+void RequestQueue::push(PendingRequest&& pending) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) throw EngineStoppedError();
+    if (static_cast<std::int64_t>(q_.size()) >= capacity_) throw QueueFullError();
+    q_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::pop(PendingRequest& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;  // closed and drained
+  out = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+bool RequestQueue::pop_matching(int horizon,
+                                std::chrono::steady_clock::time_point until,
+                                PendingRequest& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!q_.empty()) {
+      if (q_.front().request.horizon != horizon) return false;
+      out = std::move(q_.front());
+      q_.pop_front();
+      return true;
+    }
+    if (closed_) return false;  // drain mode: never wait on an empty backlog
+    // wait_until with a past deadline returns immediately, so the
+    // head-first check above is what gives window 0 its semantics.
+    if (cv_.wait_until(lk, until) == std::cv_status::timeout && q_.empty()) {
+      return false;
+    }
+  }
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::int64_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::int64_t>(q_.size());
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace pgti::serve

@@ -1,0 +1,72 @@
+// Bounded FIFO request queue for the inference engine (DESIGN.md §17).
+//
+// Producers are client threads calling InferenceEngine::submit();
+// the consumer is the engine's coalescing worker.  The queue is the
+// backpressure point: a full queue rejects the submit with a typed
+// QueueFullError instead of buffering unboundedly (load shedding),
+// and close() flips the queue into drain mode — pushes fail with
+// EngineStoppedError while pops keep delivering the backlog in FIFO
+// order until it is empty, which is what makes shutdown deterministic.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "serve/types.h"
+
+namespace pgti::serve {
+
+/// One queued request: the caller's parameters, the promise its
+/// future resolves through, and the submit timestamp (queue-latency
+/// accounting and deadline checks measure from it).
+struct PendingRequest {
+  ForecastRequest request;
+  std::promise<Forecast> promise;
+  std::chrono::steady_clock::time_point submitted_at;
+};
+
+/// Bounded MPSC queue (many submitters, one coalescing worker).
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::int64_t capacity);
+
+  /// Enqueues; throws QueueFullError when at capacity and
+  /// EngineStoppedError after close().
+  void push(PendingRequest&& pending);
+
+  /// Blocks for the next request; returns false only when the queue is
+  /// closed AND empty (the drain is complete).
+  bool pop(PendingRequest& out);
+
+  /// Coalescing pop: waits until `until` for the head request, and
+  /// takes it only if its horizon matches (same-horizon requests share
+  /// one batched forward; a different-horizon head stays queued for
+  /// the next batch).  Returns false when the window expires with no
+  /// matching head, immediately on a horizon mismatch, or when the
+  /// queue is closed and empty.  A `until` already in the past still
+  /// examines the current head, so a zero-length coalescing window
+  /// batches whatever is queued at that instant.
+  bool pop_matching(int horizon, std::chrono::steady_clock::time_point until,
+                    PendingRequest& out);
+
+  /// Switches to drain mode: subsequent pushes throw, pops drain the
+  /// backlog and then report exhaustion.  Idempotent.
+  void close();
+
+  std::int64_t size() const;
+  std::int64_t capacity() const noexcept { return capacity_; }
+  bool closed() const;
+
+ private:
+  const std::int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> q_;
+  bool closed_ = false;
+};
+
+}  // namespace pgti::serve

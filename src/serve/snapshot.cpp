@@ -1,0 +1,66 @@
+#include "serve/snapshot.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pgti::serve {
+
+SnapshotSlot::SnapshotSlot(core::ModelKind kind, data::DatasetSpec spec,
+                           SensorNetwork net, std::int64_t hidden_dim,
+                           int diffusion_steps, int num_layers, std::uint64_t seed)
+    : kind_(kind),
+      spec_(std::move(spec)),
+      net_(std::move(net)),
+      hidden_dim_(hidden_dim),
+      diffusion_steps_(diffusion_steps),
+      num_layers_(num_layers),
+      seed_(seed) {}
+
+std::shared_ptr<const ModelSnapshot> SnapshotSlot::publish(const nn::Module& live,
+                                                           int epoch) {
+  // Build the replica from the recipe, then overwrite its parameters
+  // with deep host-resident copies of the live values.  Matching by
+  // dotted name (not just position) catches a recipe/model mismatch
+  // before a silently transposed parameter ships wrong forecasts.
+  core::ModelBundle bundle = core::make_model(kind_, spec_, net_, hidden_dim_,
+                                              diffusion_steps_, num_layers_, seed_);
+  const auto live_params = live.named_parameters();
+  auto fresh_params = bundle.model->named_parameters();
+  if (live_params.size() != fresh_params.size()) {
+    throw std::invalid_argument(
+        "SnapshotSlot: live model has " + std::to_string(live_params.size()) +
+        " parameters, recipe builds " + std::to_string(fresh_params.size()));
+  }
+  for (std::size_t i = 0; i < live_params.size(); ++i) {
+    if (live_params[i].first != fresh_params[i].first) {
+      throw std::invalid_argument("SnapshotSlot: parameter name mismatch at index " +
+                                  std::to_string(i) + ": live '" +
+                                  live_params[i].first + "' vs recipe '" +
+                                  fresh_params[i].first + "'");
+    }
+    // to() always deep-copies, so device-resident replicas land as
+    // private host tensors and the snapshot shares no storage with the
+    // trainer — the property that makes the serving forward lock-free.
+    Tensor host_copy = live_params[i].second.value().to(kHostSpace);
+    fresh_params[i].second.mutable_value() = std::move(host_copy);
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto snap =
+      std::make_shared<const ModelSnapshot>(std::move(bundle), next_version_++, epoch);
+  current_ = snap;
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotSlot::current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_;
+}
+
+std::uint64_t SnapshotSlot::version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_ ? current_->version() : 0;
+}
+
+}  // namespace pgti::serve

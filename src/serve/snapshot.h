@@ -1,0 +1,92 @@
+// Copy-on-publish model snapshots (DESIGN.md §17).
+//
+// Serving must never read parameters the training thread is mutating,
+// and training must never stall on a serving-side lock.  The contract
+// here is copy-on-publish: at a publish point (end of a training
+// epoch, via EpochEngine::Hooks::on_epoch_end) the trainer's live
+// parameters are deep-copied into a freshly built model replica, the
+// replica is frozen behind a shared_ptr<const ModelSnapshot>, and the
+// slot's current pointer swaps to it.  The hot paths on both sides are
+// lock-free: the training thread keeps stepping its live model, and a
+// serving batch that already captured a snapshot pointer computes on
+// an object nobody will ever write again.  In-flight requests finish
+// on the snapshot they captured; requests that arrive after a publish
+// see the new version — MSPipe-style bounded staleness, with the
+// version number making the staleness observable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/config.h"
+#include "core/model_factory.h"
+#include "data/dataset_spec.h"
+#include "graph/spatial.h"
+#include "nn/module.h"
+
+namespace pgti::serve {
+
+/// An immutable, host-resident replica of the model at one publish
+/// point.  The bundle's graph supports travel with it, so a snapshot
+/// is self-contained: forwards against it touch no trainer state.
+class ModelSnapshot {
+ public:
+  ModelSnapshot(core::ModelBundle bundle, std::uint64_t version, int epoch)
+      : bundle_(std::move(bundle)), version_(version), epoch_(epoch) {}
+
+  const nn::SeqModel& model() const noexcept { return *bundle_.model; }
+  /// Monotonic publish counter (1 = first publish).
+  std::uint64_t version() const noexcept { return version_; }
+  /// Training epoch whose end published this snapshot.
+  int epoch() const noexcept { return epoch_; }
+
+ private:
+  core::ModelBundle bundle_;
+  std::uint64_t version_;
+  int epoch_;
+};
+
+/// The single-writer publish slot between a live trainer and any
+/// number of serving readers.  publish() runs on the training thread;
+/// current() may be called from any thread at any time and returns the
+/// latest snapshot (nullptr before the first publish).
+class SnapshotSlot {
+ public:
+  /// Model-construction recipe: each publish builds a fresh replica
+  /// with exactly these arguments (make_model is deterministic in
+  /// them) and then overwrites its parameters from the live model.
+  /// `net` is copied, so the slot outlives the caller's network.
+  SnapshotSlot(core::ModelKind kind, data::DatasetSpec spec, SensorNetwork net,
+               std::int64_t hidden_dim, int diffusion_steps, int num_layers,
+               std::uint64_t seed);
+
+  /// Deep-copies `live`'s parameters (any memory space; the copies
+  /// land host-resident) into a fresh replica and atomically installs
+  /// it as the current snapshot.  `live`'s parameter list must match
+  /// the construction recipe — publishing a different architecture
+  /// throws std::invalid_argument and leaves the slot unchanged.
+  /// Returns the published snapshot.
+  std::shared_ptr<const ModelSnapshot> publish(const nn::Module& live, int epoch);
+
+  /// Latest published snapshot (nullptr before the first publish).
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+  /// Version of the current snapshot (0 before the first publish).
+  std::uint64_t version() const;
+
+ private:
+  core::ModelKind kind_;
+  data::DatasetSpec spec_;
+  SensorNetwork net_;
+  std::int64_t hidden_dim_;
+  int diffusion_steps_;
+  int num_layers_;
+  std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace pgti::serve

@@ -1,0 +1,94 @@
+// Serving-path request/response types and typed errors (DESIGN.md §17).
+//
+// A ForecastRequest names an input window (a snapshot id from the same
+// sliding-window id space the training data plane uses), the horizon
+// of prediction steps wanted, and the node subset the caller cares
+// about.  The InferenceEngine coalesces concurrent same-horizon
+// requests into one batched forward; every failure mode a caller can
+// hit is a distinct exception type delivered through the request's
+// future, so clients can tell backpressure from deadline expiry from
+// shutdown without parsing strings.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgti::serve {
+
+/// Base of every serving-path error.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// submit() on a full bounded RequestQueue: the caller must back off
+/// (the engine sheds load instead of queueing unboundedly).
+class QueueFullError final : public ServeError {
+ public:
+  QueueFullError() : ServeError("serve: request queue full") {}
+};
+
+/// The request's deadline expired before the engine formed its batch;
+/// the forward was never run and no per-request memory was allocated.
+class DeadlineExceededError final : public ServeError {
+ public:
+  DeadlineExceededError() : ServeError("serve: deadline exceeded") {}
+};
+
+/// submit() after stop(): the engine is draining or drained and accepts
+/// no new work.
+class EngineStoppedError final : public ServeError {
+ public:
+  EngineStoppedError() : ServeError("serve: engine stopped") {}
+};
+
+/// No ModelSnapshot has been published yet (serving started before the
+/// first copy-on-publish from the trainer).
+class SnapshotUnavailableError final : public ServeError {
+ public:
+  SnapshotUnavailableError() : ServeError("serve: no model snapshot published") {}
+};
+
+/// One forecast request.  `snapshot` is the as-of input window (-1 =
+/// the engine's current stream head, see InferenceEngine::advance_to);
+/// `horizon` is the number of prediction steps wanted and is the
+/// coalescing key — only same-horizon requests share a batched forward.
+struct ForecastRequest {
+  std::int64_t snapshot = -1;
+  int horizon = 1;
+  /// Node ids the prediction is sliced to; empty = every node.
+  std::vector<std::int64_t> nodes;
+  /// Absolute expiry; requests still queued past it fail with
+  /// DeadlineExceededError instead of running.  Default: never.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// One fulfilled forecast.  `prediction` is a caller-owned contiguous
+/// tensor [horizon, nodes, output_dim]; byte-identical to a
+/// single-request forward of the same snapshot against the same
+/// ModelSnapshot, regardless of how many requests shared the batch.
+struct Forecast {
+  Tensor prediction;
+  std::uint64_t snapshot_version = 0;  ///< ModelSnapshot that served it
+  std::int64_t coalesced_batch = 0;    ///< size of the batch it rode in
+  double queue_seconds = 0.0;  ///< submit -> batch formation wait
+};
+
+/// Engine counters (monotonic since construction).
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;   ///< failed with DeadlineExceededError
+  std::uint64_t rejected = 0;    ///< submit() refused: queue full
+  std::uint64_t failed = 0;      ///< any other per-request failure
+  std::uint64_t batches = 0;     ///< batched forwards executed
+  std::uint64_t coalesced_requests = 0;  ///< requests served in batches of > 1
+  std::uint64_t max_coalesced = 0;       ///< largest batch observed
+};
+
+}  // namespace pgti::serve
